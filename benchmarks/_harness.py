@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it
+computes the artifact's rows/series, prints them, and also writes them
+to ``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artifact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = "=" * max(8, len(name))
+    block = f"\n{banner}\n{name}\n{banner}\n{text}\n"
+    print(block)
+    (RESULTS_DIR / f"{name}.txt").write_text(block)
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

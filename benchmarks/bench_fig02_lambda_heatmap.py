@@ -1,0 +1,61 @@
+"""Fig. 2(a)/(b): inference latency heat-maps on an AWS-Lambda model.
+
+Observation 1: without accelerators, large models exceed 200 ms even at
+the maximum memory configuration.  Observation 2: OTP batching inflates
+small-model latency past the SLO.  Cells marked 'x' cannot load the
+model in the configured memory.
+"""
+
+from _harness import emit, once
+
+from repro.analysis.reporting import format_table
+from repro.baselines import LAMBDA_MEMORY_SIZES_MB, LambdaLike
+from repro.models import list_models
+
+SLO_S = 0.200
+
+
+def _heatmap(executor, batch):
+    lam = LambdaLike(executor)
+    headers = ["model"] + [f"{mb}MB" for mb in LAMBDA_MEMORY_SIZES_MB]
+    rows = []
+    over_slo = set()
+    for model in list_models():
+        row = [model.name]
+        best = None
+        for memory_mb in LAMBDA_MEMORY_SIZES_MB:
+            time_s = lam.invocation_time(model, memory_mb, batch=batch)
+            if time_s is None:
+                row.append("x")
+                continue
+            row.append(f"{time_s * 1e3:.0f}ms")
+            best = time_s if best is None else min(best, time_s)
+        if best is None or best > SLO_S:
+            over_slo.add(model.name)
+        rows.append(row)
+    return headers, rows, over_slo
+
+
+def test_fig02a_no_batching(benchmark, executor):
+    headers, rows, over_slo = once(benchmark, lambda: _heatmap(executor, 1))
+    text = format_table(headers, rows)
+    text += f"\n\nmodels that cannot meet 200 ms at any memory size: {sorted(over_slo)}"
+    emit("fig02a_lambda_heatmap_nobatch", text)
+    # Observation 1: the big models miss the SLO everywhere.
+    assert {"bert-v1", "vggnet"} <= over_slo
+    # Small models are fine (when loadable).
+    assert "mnist" not in over_slo
+
+
+def test_fig02b_with_batching(benchmark, executor):
+    headers, rows, over_slo = once(benchmark, lambda: _heatmap(executor, 8))
+    text = format_table(headers, rows)
+    text += f"\n\nmodels that cannot meet 200 ms at any memory size: {sorted(over_slo)}"
+    emit("fig02b_lambda_heatmap_batch8", text)
+    # Observation 2: batching pushes mid-sized models past the SLO too.
+    assert {"ssd", "resnet-50", "deepspeech"} <= over_slo
+    lam = LambdaLike(executor)
+    model = next(m for m in list_models() if m.name == "ssd")
+    single = lam.invocation_time(model, 3008, batch=1)
+    batched = lam.invocation_time(model, 3008, batch=8)
+    assert batched > 4 * single  # "batching increases execution time by >4x"

@@ -1,0 +1,45 @@
+"""Fig. 2(c): memory over-provisioning under proportional allocation.
+
+Observation 3: obtaining enough CPU to meet the SLO forces a memory
+allocation far above actual consumption -- >50% of the function memory
+is over-provisioned for the models Lambda can serve at all.
+"""
+
+from _harness import emit, once
+
+from repro.analysis.reporting import format_table
+from repro.baselines import LambdaLike
+from repro.models import list_models
+
+SLO_S = 0.200
+
+
+def _overprovision(executor):
+    lam = LambdaLike(executor)
+    rows = []
+    for model in list_models():
+        needed = lam.min_memory_for_slo(model, SLO_S)
+        if needed is None:
+            rows.append([model.name, "--", f"{model.memory_mb(1):.0f}", "--"])
+            continue
+        consumed = model.memory_mb(1)
+        waste = lam.overprovision_ratio(model, SLO_S)
+        rows.append(
+            [model.name, needed, f"{consumed:.0f}", f"{waste:.0%}"]
+        )
+    return rows
+
+
+def test_fig02c_memory_overprovisioning(benchmark, executor):
+    rows = once(benchmark, lambda: _overprovision(executor))
+    text = format_table(
+        ["model", "memory for SLO (MB)", "actually used (MB)", "over-provisioned"],
+        rows,
+    )
+    emit("fig02c_overprovision", text)
+    ratios = [
+        float(row[3].rstrip("%")) / 100.0 for row in rows if row[3] != "--"
+    ]
+    # Observation 3: the compute-bound models waste more than half.
+    assert max(ratios) > 0.5
+    assert sum(r > 0.5 for r in ratios) >= 3

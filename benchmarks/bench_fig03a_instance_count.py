@@ -1,0 +1,59 @@
+"""Fig. 3(a): instances created by one-to-one mapping vs OTP batching.
+
+Observation 4: aggregating requests into batches of 4 cuts function
+invocations by ~72%, launched instances by ~35% and memory GB-s.
+"""
+
+import numpy as np
+from _harness import emit, once
+
+from repro.analysis.reporting import format_table
+from repro.baselines import LambdaLike
+from repro.models import get_model
+from repro.workloads import bursty_trace, sample_arrivals
+
+MEMORY_MB = 2048.0
+
+
+def _replay(executor):
+    lam = LambdaLike(executor)
+    model = get_model("resnet-20")
+    trace = bursty_trace(mean_rps=60.0, duration_s=600.0, seed=12)
+    arrivals = sample_arrivals(trace, np.random.default_rng(12))
+    plain = lam.replay_one_to_one(arrivals, model, MEMORY_MB)
+    batched = lam.replay_with_batching(
+        arrivals, model, MEMORY_MB, batch=4, timeout_s=0.1
+    )
+    return plain, batched
+
+
+def test_fig03a_one_to_one_vs_batching(benchmark, executor):
+    plain, batched = once(benchmark, lambda: _replay(executor))
+    invocation_drop = 1 - batched.invocations / plain.invocations
+    instance_drop = 1 - batched.instances_launched / plain.instances_launched
+    memory_drop = 1 - batched.memory_gb_s / plain.memory_gb_s
+    rows = [
+        ["requests", plain.requests, batched.requests, "--"],
+        ["invocations", plain.invocations, batched.invocations,
+         f"-{invocation_drop:.0%}"],
+        ["instances launched", plain.instances_launched,
+         batched.instances_launched, f"-{instance_drop:.0%}"],
+        ["peak concurrency", plain.peak_concurrency,
+         batched.peak_concurrency, "--"],
+        ["memory GB-s", f"{plain.memory_gb_s:,.0f}",
+         f"{batched.memory_gb_s:,.0f}", f"-{memory_drop:.0%}"],
+    ]
+    emit(
+        "fig03a_instance_count",
+        format_table(["metric", "one-to-one", "OTP batch=4", "change"], rows)
+        + "\n\npaper: invocations -72%, instances -35%, memory 117,555 -> 96,303 GB-s",
+    )
+    assert invocation_drop > 0.6       # paper: 72%
+    assert instance_drop > 0.15        # paper: 35%
+    assert memory_drop > 0.0
+
+
+def test_fig03a_batching_preserves_work(benchmark, executor):
+    plain, batched = once(benchmark, lambda: _replay(executor))
+    assert plain.requests == batched.requests
+    assert batched.invocations <= plain.invocations

@@ -1,0 +1,76 @@
+"""Fig. 7: operator call frequency and execution-time dominance.
+
+Observation 6: models share a small operator vocabulary and a handful
+of operators dominate execution time -- MatMul/FusedMatMul take ~76% of
+LSTM-2365 and Conv2D >95% of ResNet-50.
+"""
+
+from _harness import emit, once
+
+from repro.analysis.reporting import format_table
+from repro.models import MODEL_ZOO, get_model
+from repro.ops.costmodel import CostModel
+
+
+def _profile(model_name):
+    model = get_model(model_name)
+    cost = CostModel()
+    calls = model.graph.calls_by_operator()
+    times = model.graph.time_by_operator(
+        lambda spec: cost.operator_time(spec, batch=8, cpu=2, gpu=20)
+    )
+    total = sum(times.values())
+    rows = sorted(
+        (
+            (op, calls[op], times[op] * 1e3, times[op] / total)
+            for op in calls
+        ),
+        key=lambda row: -row[3],
+    )
+    return rows
+
+
+def test_fig07a_lstm_operators(benchmark):
+    rows = once(benchmark, lambda: _profile("lstm-2365"))
+    table = format_table(
+        ["operator", "calls", "time (ms)", "share"],
+        [[op, c, f"{t:.3f}", f"{s:.1%}"] for op, c, t, s in rows],
+    )
+    emit("fig07a_lstm2365_operators", table)
+    shares = {op: share for op, _c, _t, share in rows}
+    calls = {op: c for op, c, _t, _s in rows}
+    assert calls["MatMul"] == 81                     # Fig. 7(a)
+    assert calls["Sum"] == 1
+    matmul_family = shares.get("MatMul", 0) + shares.get("FusedMatMul", 0)
+    assert matmul_family > 0.70                      # paper: ~76% of time
+
+
+def test_fig07b_resnet50_operators(benchmark):
+    rows = once(benchmark, lambda: _profile("resnet-50"))
+    table = format_table(
+        ["operator", "calls", "time (ms)", "share"],
+        [[op, c, f"{t:.3f}", f"{s:.1%}"] for op, c, t, s in rows],
+    )
+    emit("fig07b_resnet50_operators", table)
+    shares = {op: share for op, _c, _t, share in rows}
+    assert shares["Conv2D"] > 0.90                   # paper: >95%
+
+
+def test_fig07_shared_vocabulary(benchmark):
+    def survey():
+        distinct = set()
+        total_calls = 0
+        for model in MODEL_ZOO.values():
+            distinct |= model.graph.distinct_operators()
+            total_calls += model.graph.total_calls()
+        return distinct, total_calls
+
+    distinct, total_calls = once(benchmark, survey)
+    emit(
+        "fig07_shared_vocabulary",
+        f"distinct operators across the zoo: {len(distinct)}\n"
+        f"total operator calls: {total_calls}\n"
+        f"vocabulary: {sorted(distinct)}",
+    )
+    assert total_calls > 1000      # ">1,000 calls of operators"
+    assert len(distinct) < 72      # "the number of distinct operators is only 71"

@@ -1,0 +1,46 @@
+"""Table 1: the inference model zoo.
+
+Regenerates the table (network size, GFLOPs, description) from the
+implemented model specs and validates it against the paper's values.
+"""
+
+from _harness import emit, once
+
+from repro.analysis.reporting import format_table
+from repro.models import list_models
+
+PAPER = {
+    "bert-v1": (391.0, 22.2),
+    "resnet-50": (98.0, 3.89),
+    "vggnet": (69.0, 5.55),
+    "lstm-2365": (39.0, 0.10),
+    "resnet-20": (36.0, 1.55),
+    "ssd": (29.0, 2.02),
+    "dssm-2389": (25.0, 0.13),
+    "deepspeech": (17.0, 1.60),
+    "mobilenet": (17.0, 0.05),
+    "textcnn-69": (11.0, 0.53),
+    "mnist": (0.072, 0.01),
+}
+
+
+def test_table1_model_zoo(benchmark):
+    models = once(benchmark, list_models)
+    rows = [
+        [m.name, f"{m.params_millions:g}M", f"{m.gflops:g}",
+         len(m.graph), m.graph.total_calls(), m.description]
+        for m in models
+    ]
+    emit(
+        "table1_model_zoo",
+        format_table(
+            ["model", "network size", "GFLOPs", "graph nodes",
+             "operator calls", "description"],
+            rows,
+        ),
+    )
+    assert len(models) == 11
+    for model in models:
+        params, gflops = PAPER[model.name]
+        assert model.params_millions == params
+        assert abs(model.graph.total_gflops_per_item() - gflops) < 1e-9

@@ -1,0 +1,20 @@
+"""Session fixtures shared by all benchmarks."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.profiling import GroundTruthExecutor, build_default_predictor
+
+
+@pytest.fixture(scope="session")
+def predictor():
+    return build_default_predictor()
+
+
+@pytest.fixture(scope="session")
+def executor():
+    return GroundTruthExecutor()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Capacity planning with the INFless scheduler.
+
+Given a target application load, how many servers does each serving
+platform need?  This example runs the saturating stress fill at
+growing cluster sizes and reports the smallest cluster sustaining the
+target -- the planning question behind the paper's cost analysis
+(Table 4): INFless's packing and batching shrink the fleet a provider
+must operate.
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from repro import BatchOTP, INFlessEngine, OpenFaaSPlus
+from repro.analysis import stress_capacity
+from repro.analysis.cost import CostModelTable4
+from repro.cluster import build_testbed_cluster
+from repro.profiling import build_default_predictor
+from repro.workloads import build_osvt
+
+TARGET_APP_RPS = 22_000.0
+CLUSTER_SIZES = (2, 3, 4, 5, 6, 8, 12, 16, 24, 32, 48)
+
+
+def servers_needed(factory, predictor) -> int:
+    app = build_osvt()
+    for size in CLUSTER_SIZES:
+        cluster = build_testbed_cluster(num_servers=size)
+        result = stress_capacity(factory(cluster), app.functions)
+        if result.max_app_rps >= TARGET_APP_RPS:
+            return size
+    return -1
+
+
+def main() -> None:
+    predictor = build_default_predictor()
+    cost_model = CostModelTable4()
+    print(f"Target: sustain {TARGET_APP_RPS:,.0f} RPS of OSVT traffic\n")
+    print(f"{'platform':10s} {'servers':>8s} {'GPUs':>6s} {'$/day':>10s}")
+    for label, factory in [
+        ("infless", lambda c: INFlessEngine(c, predictor=predictor)),
+        ("batch", lambda c: BatchOTP(c, predictor)),
+        ("openfaas+", lambda c: OpenFaaSPlus(c, predictor)),
+    ]:
+        size = servers_needed(factory, predictor)
+        if size < 0:
+            print(f"{label:10s} {'>32':>8s} {'':>6s} {'--':>10s}")
+            continue
+        gpus = size * 2
+        daily = cost_model.daily_bill(cpu_cores=size * 16, gpus=gpus)
+        print(f"{label:10s} {size:8d} {gpus:6d} {daily:10,.0f}")
+    print("\n(servers are Table 2 machines: 16 cores + 2x RTX 2080Ti)")
+
+
+if __name__ == "__main__":
+    main()

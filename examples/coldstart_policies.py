@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Cold-start management: LSTH versus HHP versus fixed keep-alive.
+
+Replays the heterogeneous three-day function fleet (diurnal, sporadic,
+bursty and timer-driven functions) through three keep-alive policies
+and compares cold-start rates and reserved-resource waste -- the
+Fig. 16 experiment, plus the gamma sensitivity sweep.
+
+Run:
+    python examples/coldstart_policies.py
+"""
+
+from repro import FixedKeepAlive, HybridHistogramPolicy, LongShortTermHistogram
+from repro.simulation import evaluate_policy
+from repro.workloads import coldstart_fleet_invocations
+
+
+def main() -> None:
+    print("Sampling the 3-day function fleet...")
+    fleet = coldstart_fleet_invocations()
+    total = sum(len(times) for times in fleet.values())
+    print(f"{len(fleet)} functions, {total} invocations\n")
+
+    policies = [
+        FixedKeepAlive(600.0),
+        HybridHistogramPolicy(),                 # the ATC'20 baseline
+        LongShortTermHistogram(gamma=0.3),
+        LongShortTermHistogram(gamma=0.5),       # INFless default
+        LongShortTermHistogram(gamma=0.7),
+    ]
+    baseline = None
+    print(f"{'policy':12s} {'cold-start':>11s} {'wasted res-h':>13s}"
+          f" {'vs HHP cold':>12s} {'vs HHP waste':>13s}")
+    for policy in policies:
+        evaluation = evaluate_policy(policy, fleet)
+        if evaluation.policy == "hhp-4h":
+            baseline = evaluation
+        cold_delta = waste_delta = ""
+        if baseline is not None and evaluation is not baseline:
+            cold_delta = (
+                f"{1 - evaluation.cold_start_rate / baseline.cold_start_rate:+.1%}"
+            )
+            waste_delta = (
+                f"{1 - evaluation.wasted_loaded_s / baseline.wasted_loaded_s:+.1%}"
+            )
+        print(
+            f"{evaluation.policy:12s} {evaluation.cold_start_rate:11.2%}"
+            f" {evaluation.wasted_loaded_s / 3600:13.1f}"
+            f" {cold_delta:>12s} {waste_delta:>13s}"
+        )
+    print("\n(positive deltas = improvement over the hybrid histogram policy)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The Q&A robot scenario: a tight 50 ms SLO on small NLP models.
+
+TextCNN-69, LSTM-2365 and DSSM-2389 answer user questions within 50 ms
+(section 5.1).  Small models leave little headroom: the batch waiting
+deadline ``t_slo - t_exec`` is only tens of milliseconds, so the
+dispatcher's rate control (keeping each instance inside its Eq. 1
+range) is what keeps queueing in check.  This example prints the
+per-function latency decomposition and shows how INFless regulates
+queueing time to roughly match execution time (Fig. 15b/c).
+
+Run:
+    python examples/qa_robot.py
+"""
+
+from collections import defaultdict
+
+from repro import (
+    GroundTruthExecutor,
+    INFlessEngine,
+    ServingSimulation,
+    build_qa_robot,
+    build_testbed_cluster,
+)
+from repro.profiling import build_default_predictor
+from repro.workloads import periodic_trace
+
+
+def main() -> None:
+    predictor = build_default_predictor()
+    engine = INFlessEngine(build_testbed_cluster(), predictor=predictor)
+    app = build_qa_robot()
+    for function in app.functions:
+        engine.deploy(function)
+    print(f"Q&A robot: {app.function_names()} @ {app.slo_s * 1e3:.0f} ms SLO\n")
+
+    trace = periodic_trace(
+        mean_rps=900.0, duration_s=600.0, period_s=600.0, seed=4
+    )
+    workload = {
+        name: trace.with_mean(rps)
+        for name, rps in app.rps_split(trace.mean_rps).items()
+    }
+    simulation = ServingSimulation(
+        platform=engine,
+        executor=GroundTruthExecutor(),
+        workload=workload,
+        warmup_s=30.0,
+        seed=3,
+    )
+    report = simulation.run()
+
+    print(f"completed {report.completed} requests,"
+          f" violation rate {report.violation_rate:.2%},"
+          f" drops {report.drop_rate:.2%}\n")
+
+    # Per-function latency decomposition (Fig. 15-style view).
+    per_fn = defaultdict(list)
+    for record in simulation.metrics.records:
+        if record.arrival >= 30.0:
+            per_fn[record.function].append(record)
+    print(f"{'function':18s} {'requests':>8s} {'queue ms':>9s} "
+          f"{'exec ms':>8s} {'viol':>7s}")
+    for name, records in sorted(per_fn.items()):
+        queue = sum(r.queue_wait_s for r in records) / len(records)
+        execute = sum(r.exec_s for r in records) / len(records)
+        violations = sum(r.violated_slo for r in records) / len(records)
+        print(f"{name:18s} {len(records):8d} {queue * 1e3:9.1f} "
+              f"{execute * 1e3:8.1f} {violations:7.2%}")
+
+    print("\nnon-uniform configurations in service:")
+    for function in app.functions:
+        configs = sorted(
+            str(inst.config) for inst in engine.instances(function.name)
+        )
+        print(f"  {function.name}: {configs}")
+
+
+if __name__ == "__main__":
+    main()

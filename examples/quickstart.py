@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: serve one model on INFless and read the report.
+
+Deploys ResNet-50 with a 200 ms latency SLO on the paper's 8-server /
+16-GPU testbed, replays two minutes of constant 300 RPS traffic through
+the discrete-event runtime and prints the outcome: achieved throughput,
+SLO compliance, the latency decomposition ``l = t_cold + t_batch +
+t_exec`` and which batch sizes the non-uniform scaler actually used.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    FunctionSpec,
+    GroundTruthExecutor,
+    INFlessEngine,
+    ServingSimulation,
+    build_testbed_cluster,
+    constant_trace,
+)
+
+
+def main() -> None:
+    print("Building the testbed cluster (8 servers, 16 GPUs)...")
+    cluster = build_testbed_cluster()
+
+    print("Profiling operators & starting INFless (first run takes ~2s)...")
+    engine = INFlessEngine(cluster)
+
+    function = FunctionSpec.for_model("resnet-50", slo_s=0.200)
+    engine.deploy(function)
+    print(f"Deployed {function.name} with a {function.slo_s * 1e3:.0f} ms SLO")
+
+    workload = {function.name: constant_trace(rps=300.0, duration_s=120.0)}
+    simulation = ServingSimulation(
+        platform=engine,
+        executor=GroundTruthExecutor(),
+        workload=workload,
+        warmup_s=20.0,  # discard the initial cold-start transient
+        seed=1,
+    )
+    print("Replaying 120 s of 300 RPS traffic...")
+    report = simulation.run()
+
+    print()
+    print(f"completed requests : {report.completed}")
+    print(f"achieved RPS       : {report.achieved_rps:8.1f}")
+    print(f"SLO violation rate : {report.violation_rate:8.2%}")
+    print(f"drop rate          : {report.drop_rate:8.2%}")
+    print(f"mean latency       : {report.latency_mean_s * 1e3:8.1f} ms")
+    print(f"p99 latency        : {report.latency_p99_s * 1e3:8.1f} ms")
+    print("latency breakdown  :"
+          f" cold {report.mean_cold_wait_s * 1e3:.1f} ms"
+          f" | queue {report.mean_queue_wait_s * 1e3:.1f} ms"
+          f" | exec {report.mean_exec_s * 1e3:.1f} ms")
+    print(f"batch sizes used   : {dict(sorted(report.batch_histogram.items()))}")
+    print("instance configs   :")
+    for (batch, cpu, gpu), count in sorted(report.config_histogram.items()):
+        print(f"   (b={batch:>2}, c={cpu}, g={gpu:>3}%) served {count} requests")
+    print(f"weighted resources : {report.mean_weighted_usage:.1f} units"
+          f" (normalized throughput {report.normalized_throughput:.2f} req/s/unit)")
+
+
+if __name__ == "__main__":
+    main()

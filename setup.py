@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` works through this file; the
+project metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

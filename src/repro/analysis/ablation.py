@@ -1,0 +1,97 @@
+"""Component ablations of INFless (Fig. 11's BB / RS / OP analysis).
+
+The paper isolates each technique's contribution by disabling it:
+
+* **BB** (built-in non-uniform batching) disabled -> every batchsize
+  forced to 1;
+* **RS** (resource scheduling) disabled -> instances take the
+  configuration with the maximum throughput, ignoring the Eq. 10
+  efficiency/packing score;
+* **OP** (combined operator prediction) degraded -> the predicted
+  latency is inflated by 50% (OP1.5) or 100% (OP2), which makes the
+  scheduler conservatively pick smaller batches and under-estimate
+  each instance's capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.capacity import CapacityResult, stress_fill_infless
+from repro.cluster.cluster import Cluster
+from repro.core.engine import INFlessEngine
+from repro.core.function import FunctionSpec
+from repro.profiling.configspace import ConfigSpace
+from repro.profiling.predictor import LatencyPredictor
+
+#: the ablation variants of Fig. 11, in presentation order.
+ABLATION_VARIANTS: Sequence[str] = ("full", "no-bb", "no-rs", "op1.5", "op2")
+
+
+def build_engine_variant(
+    cluster: Cluster,
+    predictor: LatencyPredictor,
+    variant: str,
+) -> INFlessEngine:
+    """Build an INFless engine with one component ablated."""
+    if variant == "full":
+        return INFlessEngine(cluster, predictor=predictor)
+    if variant == "no-bb":
+        return INFlessEngine(
+            cluster, predictor=predictor, config_space=ConfigSpace(max_batch=1)
+        )
+    if variant == "no-rs":
+        # "Selecting only the resource configuration with the maximum
+        # throughput": the densest configuration wins regardless of
+        # fragmentation or evolving resource scarcity.
+        engine = INFlessEngine(cluster, predictor=predictor)
+        engine.scheduler.selection = "max_density"
+        engine.scheduler.dynamic_beta = False
+        return engine
+    if variant in ("op1.5", "op2"):
+        offset = 1.5 if variant == "op1.5" else 2.0
+        degraded = LatencyPredictor(
+            predictor.database, safety_offset=offset
+        )
+        return INFlessEngine(cluster, predictor=degraded)
+    raise ValueError(
+        f"unknown variant {variant!r}; choose from {list(ABLATION_VARIANTS)}"
+    )
+
+
+def ablation_study(
+    predictor: LatencyPredictor,
+    functions: Sequence[FunctionSpec],
+    cluster_factory,
+    variants: Sequence[str] = ABLATION_VARIANTS,
+) -> Dict[str, CapacityResult]:
+    """Saturating stress test of every ablation variant (Fig. 11).
+
+    Args:
+        predictor: the shared (full-accuracy) profile database owner.
+        functions: the application under test (OSVT or Q&A robot).
+        cluster_factory: zero-argument callable producing fresh
+            clusters so the variants do not share placements.
+
+    Returns:
+        variant -> capacity result; throughput drops relative to
+        ``"full"`` are the Fig. 11 bars.
+    """
+    results: Dict[str, CapacityResult] = {}
+    for variant in variants:
+        engine = build_engine_variant(cluster_factory(), predictor, variant)
+        results[variant] = stress_fill_infless(engine, list(functions))
+        results[variant].platform = f"infless[{variant}]"
+    return results
+
+
+def throughput_drops(results: Dict[str, CapacityResult]) -> Dict[str, float]:
+    """Fractional throughput drop of each variant versus "full"."""
+    full = results["full"].max_app_rps
+    if full <= 0:
+        raise ValueError("the full variant produced no throughput")
+    return {
+        variant: 1.0 - result.max_app_rps / full
+        for variant, result in results.items()
+        if variant != "full"
+    }

@@ -1,0 +1,86 @@
+"""The Table 4 computation-cost model.
+
+Prices follow the paper: a CPU core at $0.034/hour (AWS r5.2xlarge
+per-core) and an RTX 2080Ti-equivalent GPU at $2.5/hour (scaled from
+the Tesla P100 pricing of p3.2xlarge).  Given CPU/GPU consumption per
+100 RPS of served load, the table derives the dollar cost per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: $/hour for one CPU core (paper, section 5.2).
+CPU_PRICE_PER_HOUR = 0.034
+#: $/hour for one RTX 2080Ti GPU (paper, section 5.2).
+GPU_PRICE_PER_HOUR = 2.5
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """One platform's row of Table 4."""
+
+    platform: str
+    cpus_per_100rps: float
+    gpus_per_100rps: float
+    cost_per_request: float
+
+
+class CostModelTable4:
+    """Derives per-request cost from resource consumption."""
+
+    def __init__(
+        self,
+        cpu_price_per_hour: float = CPU_PRICE_PER_HOUR,
+        gpu_price_per_hour: float = GPU_PRICE_PER_HOUR,
+    ) -> None:
+        if cpu_price_per_hour < 0 or gpu_price_per_hour < 0:
+            raise ValueError("prices must be non-negative")
+        self.cpu_price_per_hour = cpu_price_per_hour
+        self.gpu_price_per_hour = gpu_price_per_hour
+
+    def per_request_cost(
+        self, cpus_per_100rps: float, gpus_per_100rps: float
+    ) -> float:
+        """Dollar cost of serving one request.
+
+        ``cpus_per_100rps`` CPU cores serve 100 requests every second,
+        i.e. 360,000 requests per hour.
+        """
+        hourly = (
+            cpus_per_100rps * self.cpu_price_per_hour
+            + gpus_per_100rps * self.gpu_price_per_hour
+        )
+        requests_per_hour = 100.0 * 3600.0
+        return hourly / requests_per_hour
+
+    def report(
+        self, platform: str, cpus_per_100rps: float, gpus_per_100rps: float
+    ) -> CostReport:
+        return CostReport(
+            platform=platform,
+            cpus_per_100rps=cpus_per_100rps,
+            gpus_per_100rps=gpus_per_100rps,
+            cost_per_request=self.per_request_cost(
+                cpus_per_100rps, gpus_per_100rps
+            ),
+        )
+
+    def report_from_usage(
+        self,
+        platform: str,
+        cpu_cores: float,
+        gpus: float,
+        served_rps: float,
+    ) -> CostReport:
+        """Build a row from raw usage and the served request rate."""
+        if served_rps <= 0:
+            raise ValueError("served_rps must be positive")
+        scale = 100.0 / served_rps
+        return self.report(platform, cpu_cores * scale, gpus * scale)
+
+    def daily_bill(self, cpu_cores: float, gpus: float) -> float:
+        """Cluster cost per day for a constant footprint."""
+        return 24.0 * (
+            cpu_cores * self.cpu_price_per_hour + gpus * self.gpu_price_per_hour
+        )

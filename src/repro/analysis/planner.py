@@ -1,0 +1,132 @@
+"""SLO feasibility planning: the developer-facing side of COP.
+
+INFless is Backend-as-a-Service: a developer declares a model and an
+SLO (the Fig. 5 template) and needs to know whether the platform can
+honour it, and at what cost.  The planner answers that question from
+the same predictions the scheduler uses: which <b, c, g>
+configurations meet the SLO, what throughput each sustains, and the
+cheapest way to serve a given load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.resources import BETA
+from repro.core.batching import InfeasibleBatchError, rate_bounds
+from repro.core.function import FunctionSpec
+from repro.profiling.configspace import ConfigSpace, InstanceConfig
+from repro.profiling.predictor import LatencyPredictor
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One feasible configuration for a (model, SLO) pair."""
+
+    config: InstanceConfig
+    t_exec_s: float
+    r_low: float
+    r_up: float
+
+    def density(self, beta: float = BETA) -> float:
+        """Peak requests/s per weighted resource unit."""
+        return self.r_up / self.config.weighted_cost(beta)
+
+
+class SLOPlanner:
+    """Feasibility and sizing answers for deployed functions."""
+
+    def __init__(
+        self,
+        predictor: LatencyPredictor,
+        config_space: Optional[ConfigSpace] = None,
+        beta: float = BETA,
+    ) -> None:
+        self.predictor = predictor
+        self.config_space = config_space or ConfigSpace()
+        self.beta = beta
+
+    # ------------------------------------------------------------------
+    def feasible_configs(self, function: FunctionSpec) -> List[PlanEntry]:
+        """All configurations meeting the function's SLO, densest first."""
+        entries = []
+        for batch in self.config_space.batches():
+            if batch > function.model.max_batch:
+                continue
+            for cpu, gpu in self.config_space.resource_pairs():
+                t_exec = self.predictor.predict(
+                    function.model, batch, cpu, gpu
+                )
+                try:
+                    bounds = rate_bounds(t_exec, function.slo_s, batch)
+                except InfeasibleBatchError:
+                    continue
+                entries.append(
+                    PlanEntry(
+                        config=InstanceConfig(batch=batch, cpu=cpu, gpu=gpu),
+                        t_exec_s=t_exec,
+                        r_low=bounds.r_low,
+                        r_up=bounds.r_up,
+                    )
+                )
+        return sorted(entries, key=lambda e: -e.density(self.beta))
+
+    def is_feasible(self, function: FunctionSpec) -> bool:
+        """Can the platform honour this SLO at all?"""
+        return bool(self.feasible_configs(function))
+
+    def tightest_feasible_slo(
+        self, function: FunctionSpec, resolution_s: float = 0.005
+    ) -> Optional[float]:
+        """The smallest SLO (to ``resolution_s``) any config satisfies.
+
+        Binary-searches over the batch-1 execution times, since batch-1
+        needs only ``t_exec <= t_slo``.
+        """
+        best = None
+        for cpu, gpu in self.config_space.resource_pairs():
+            t_exec = self.predictor.predict(function.model, 1, cpu, gpu)
+            best = t_exec if best is None else min(best, t_exec)
+        if best is None:
+            return None
+        import math
+
+        return math.ceil(best / resolution_s) * resolution_s
+
+    def cheapest_plan(
+        self, function: FunctionSpec, rps: float
+    ) -> Optional[List[PlanEntry]]:
+        """A minimal-cost instance mix covering ``rps``.
+
+        Greedy over density (the scheduler's own logic without the
+        placement dimension): repeatedly take the densest configuration
+        whose ``r_low`` the residual still saturates.
+        """
+        if rps <= 0:
+            return []
+        entries = self.feasible_configs(function)
+        if not entries:
+            return None
+        plan: List[PlanEntry] = []
+        residual = rps
+        while residual > 1e-9:
+            usable = [
+                e for e in entries
+                if e.config.batch == 1 or residual >= e.r_low
+            ]
+            if not usable:
+                return None
+            # Cover the residual with the cheapest effective choice.
+            best = max(
+                usable,
+                key=lambda e: min(e.r_up, residual)
+                / e.config.weighted_cost(self.beta),
+            )
+            plan.append(best)
+            residual -= best.r_up
+        return plan
+
+    def plan_cost(self, plan: List[PlanEntry]) -> float:
+        """Total weighted resource cost of an instance mix."""
+        return sum(entry.config.weighted_cost(self.beta) for entry in plan)

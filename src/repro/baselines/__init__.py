@@ -1,0 +1,30 @@
+"""Comparison systems of the evaluation (Table 3).
+
+* ``OpenFaaSPlus`` -- OpenFaaS enhanced with GPU support: one-to-one
+  request mapping, uniform instance configuration, fixed keep-alive.
+* ``BatchOTP`` -- the BATCH system (Ali et al., SC'20) re-created as an
+  on-top-of-platform buffer layer: adaptive but *uniform* batching,
+  profile-driven configuration, fixed keep-alive, extra ingress delay.
+* ``BatchRS`` -- BATCH's configurations placed by INFless's
+  resource-aware scheduler (the Fig. 17(b) ablation).
+* ``LambdaLike`` -- an AWS-Lambda model with the proportional
+  CPU-memory allocation policy, for the section 2 motivation study.
+"""
+
+from repro.baselines.common import UniformScalingPlatform
+from repro.baselines.openfaas import OpenFaaSPlus
+from repro.baselines.batch_otp import BatchOTP
+from repro.baselines.batch_rs import BatchRS
+from repro.baselines.lambda_like import (
+    LambdaLike,
+    LAMBDA_MEMORY_SIZES_MB,
+)
+
+__all__ = [
+    "UniformScalingPlatform",
+    "OpenFaaSPlus",
+    "BatchOTP",
+    "BatchRS",
+    "LambdaLike",
+    "LAMBDA_MEMORY_SIZES_MB",
+]

@@ -1,0 +1,39 @@
+"""BATCH+RS: BATCH's configurations, INFless's placement (Fig. 17b).
+
+The paper isolates the contribution of the resource-aware scheduling
+algorithm by feeding the instances configured by BATCH into it.  Here
+that means overriding BATCH's first-fit placement with the best-fit
+rule implied by Eq. 10: among feasible servers, pick the one whose
+weighted free capacity the instance fills most completely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.batch_otp import BatchOTP
+from repro.cluster.cluster import Placement
+from repro.cluster.resources import ResourceVector
+
+
+class BatchRS(BatchOTP):
+    """BATCH with INFless's fragmentation-aware placement."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.name = "batch+rs"
+
+    def _place(self, resources: ResourceVector) -> Optional[Placement]:
+        """Best-fit on weighted free capacity (minimises fragments)."""
+        best_server = None
+        best_free = float("inf")
+        for server in self.cluster.servers:
+            if not server.can_fit(resources):
+                continue
+            free = server.weighted_free(self.cluster.beta)
+            if free < best_free:
+                best_free = free
+                best_server = server
+        if best_server is None:
+            return None
+        return self.cluster.allocate(best_server.server_id, resources)

@@ -1,0 +1,243 @@
+"""Command-line interface for quick experiments.
+
+Usage::
+
+    python -m repro.cli list-models
+    python -m repro.cli predict --model resnet-50 --batch 8 --cpu 2 --gpu 20
+    python -m repro.cli capacity --app osvt --servers 8
+    python -m repro.cli simulate --model resnet-50 --rps 300 --duration 120
+    python -m repro.cli coldstart --days 2
+
+Every subcommand prints a small table; the heavier experiment harness
+lives under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import stress_capacity
+from repro.analysis.reporting import format_table
+from repro.baselines import BatchOTP, OpenFaaSPlus
+from repro.cluster import build_testbed_cluster
+from repro.core import (
+    FixedKeepAlive,
+    FunctionSpec,
+    HybridHistogramPolicy,
+    INFlessEngine,
+    LongShortTermHistogram,
+)
+from repro.models import list_models
+from repro.profiling import GroundTruthExecutor, build_default_predictor
+from repro.simulation import ServingSimulation, compare_policies
+from repro.workloads import (
+    build_osvt,
+    build_qa_robot,
+    coldstart_fleet_invocations,
+    constant_trace,
+)
+
+
+def _cmd_list_models(_args: argparse.Namespace) -> int:
+    rows = [
+        [m.name, f"{m.params_millions:g}M", f"{m.gflops:g}",
+         f"{m.cold_start_s:.1f}s", m.max_batch, m.description]
+        for m in list_models()
+    ]
+    print(format_table(
+        ["model", "params", "GFLOPs", "cold start", "max batch", "description"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    predictor = build_default_predictor()
+    executor = GroundTruthExecutor()
+    predicted = predictor.predict(args.model, args.batch, args.cpu, args.gpu)
+    actual = executor.mean_execution_time(
+        __import__("repro.models", fromlist=["get_model"]).get_model(args.model),
+        args.batch, args.cpu, args.gpu,
+    )
+    print(format_table(
+        ["model", "config", "predicted (ms)", "actual (ms)", "error"],
+        [[args.model, f"(b={args.batch}, c={args.cpu}, g={args.gpu})",
+          f"{predicted * 1e3:.2f}", f"{actual * 1e3:.2f}",
+          f"{abs(predicted - actual) / actual:.1%}"]],
+    ))
+    return 0
+
+
+def _build_app(name: str):
+    if name == "osvt":
+        return build_osvt()
+    if name == "qa":
+        return build_qa_robot()
+    raise SystemExit(f"unknown app {name!r}: choose osvt or qa")
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    predictor = build_default_predictor()
+    app = _build_app(args.app)
+    rows = []
+    for label, factory in (
+        ("infless", lambda c: INFlessEngine(c, predictor=predictor)),
+        ("batch", lambda c: BatchOTP(c, predictor)),
+        ("openfaas+", lambda c: OpenFaaSPlus(c, predictor)),
+    ):
+        cluster = build_testbed_cluster(num_servers=args.servers)
+        result = stress_capacity(factory(cluster), app.functions)
+        rows.append(
+            [label, f"{result.max_app_rps:,.0f}",
+             f"{result.throughput_per_resource:.2f}",
+             f"{result.fragment_ratio:.1%}", result.instances]
+        )
+    print(format_table(
+        ["system", "max app RPS", "thpt/resource", "fragments", "instances"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    predictor = build_default_predictor()
+    engine = INFlessEngine(
+        build_testbed_cluster(num_servers=args.servers), predictor=predictor
+    )
+    function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
+    engine.deploy(function)
+    report = ServingSimulation(
+        platform=engine,
+        executor=GroundTruthExecutor(),
+        workload={function.name: constant_trace(args.rps, args.duration)},
+        warmup_s=min(20.0, args.duration / 4),
+        seed=args.seed,
+    ).run()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["completed", report.completed],
+            ["achieved RPS", f"{report.achieved_rps:.1f}"],
+            ["SLO violations", f"{report.violation_rate:.2%}"],
+            ["drops", f"{report.drop_rate:.2%}"],
+            ["mean latency", f"{report.latency_mean_s * 1e3:.1f} ms"],
+            ["p99 latency", f"{report.latency_p99_s * 1e3:.1f} ms"],
+            ["batch sizes", dict(sorted(report.batch_histogram.items()))],
+            ["thpt/resource", f"{report.normalized_throughput:.2f}"],
+        ],
+    ))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """SLO feasibility & sizing table for one function."""
+    from repro.analysis import SLOPlanner
+
+    predictor = build_default_predictor()
+    planner = SLOPlanner(predictor)
+    function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
+    if not planner.is_feasible(function):
+        tightest = planner.tightest_feasible_slo(function)
+        floor = f"{tightest * 1e3:.0f} ms" if tightest else "unknown"
+        print(
+            f"{args.model} cannot meet {args.slo_ms:.0f} ms on this hardware;"
+            f" tightest feasible SLO is ~{floor}"
+        )
+        return 1
+    entries = planner.feasible_configs(function)[: args.top]
+    print(format_table(
+        ["config", "t_exec (ms)", "r_low", "r_up", "RPS/unit"],
+        [
+            [str(e.config), f"{e.t_exec_s * 1e3:.1f}", f"{e.r_low:.0f}",
+             f"{e.r_up:.0f}", f"{e.density():.1f}"]
+            for e in entries
+        ],
+    ))
+    if args.rps:
+        plan = planner.cheapest_plan(function, args.rps)
+        if plan is None:
+            print(f"\nno instance mix covers {args.rps:.0f} RPS")
+            return 1
+        print(f"\ncheapest mix for {args.rps:.0f} RPS"
+              f" (cost {planner.plan_cost(plan):.1f} weighted units):")
+        for entry in plan:
+            print(f"  {entry.config}  r_up={entry.r_up:.0f}")
+    return 0
+
+
+def _cmd_coldstart(args: argparse.Namespace) -> int:
+    fleet = coldstart_fleet_invocations(duration_s=args.days * 86400.0)
+    policies = [
+        FixedKeepAlive(600.0),
+        HybridHistogramPolicy(),
+        LongShortTermHistogram(gamma=args.gamma),
+    ]
+    rows = [
+        [ev.policy, f"{ev.cold_start_rate:.2%}",
+         f"{ev.wasted_loaded_s / 3600:,.0f}h"]
+        for ev in compare_policies(policies, fleet)
+    ]
+    print(format_table(["policy", "cold-start rate", "reserved waste"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="INFless reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="show the Table 1 model zoo")
+
+    predict = sub.add_parser("predict", help="COP latency prediction")
+    predict.add_argument("--model", required=True)
+    predict.add_argument("--batch", type=int, default=8)
+    predict.add_argument("--cpu", type=int, default=2)
+    predict.add_argument("--gpu", type=int, default=20)
+
+    capacity = sub.add_parser("capacity", help="stress-test throughput")
+    capacity.add_argument("--app", default="osvt", choices=("osvt", "qa"))
+    capacity.add_argument("--servers", type=int, default=8)
+
+    simulate = sub.add_parser("simulate", help="discrete-event serving run")
+    simulate.add_argument("--model", default="resnet-50")
+    simulate.add_argument("--rps", type=float, default=300.0)
+    simulate.add_argument("--duration", type=float, default=120.0)
+    simulate.add_argument("--slo-ms", type=float, default=200.0)
+    simulate.add_argument("--servers", type=int, default=8)
+    simulate.add_argument("--seed", type=int, default=1)
+
+    coldstart = sub.add_parser("coldstart", help="keep-alive policy study")
+    coldstart.add_argument("--days", type=float, default=2.0)
+    coldstart.add_argument("--gamma", type=float, default=0.5)
+
+    plan = sub.add_parser("plan", help="SLO feasibility & sizing")
+    plan.add_argument("--model", required=True)
+    plan.add_argument("--slo-ms", type=float, default=200.0)
+    plan.add_argument("--rps", type=float, default=0.0)
+    plan.add_argument("--top", type=int, default=10)
+
+    return parser
+
+
+_COMMANDS = {
+    "list-models": _cmd_list_models,
+    "predict": _cmd_predict,
+    "capacity": _cmd_capacity,
+    "simulate": _cmd_simulate,
+    "coldstart": _cmd_coldstart,
+    "plan": _cmd_plan,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""The cluster: a set of servers plus placement bookkeeping.
+
+The scheduler (Algorithm 1) asks the cluster two questions: "where does
+this resource request fit?" and "how efficient is placing it on server
+j?" (Eq. 10).  The cluster also produces the aggregate statistics used
+throughout the evaluation: active servers, weighted resource usage and
+the fragment ratio of Fig. 17(b).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster.resources import BETA, ResourceVector
+from repro.cluster.server import AllocationError, Server
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A record of one instance's allocation on a server."""
+
+    placement_id: int
+    server_id: int
+    resources: ResourceVector
+    gpu_device_id: Optional[int]
+
+
+@dataclass
+class Cluster:
+    """A collection of servers with allocation / release / metrics APIs."""
+
+    servers: List[Server]
+    beta: float = BETA
+    #: bumped on every allocate/release so callers (the scheduler) can
+    #: cache derived indexes and invalidate them cheaply.
+    version: int = 0
+    _placements: Dict[int, Placement] = field(default_factory=dict)
+    _next_placement_id: Iterable[int] = field(default_factory=itertools.count)
+
+    def __post_init__(self) -> None:
+        ids = [server.server_id for server in self.servers]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate server ids in cluster")
+        self._by_id = {server.server_id: server for server in self.servers}
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def server(self, server_id: int) -> Server:
+        return self._by_id[server_id]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def feasible_servers(self, request: ResourceVector) -> List[Server]:
+        """Servers where the request currently fits."""
+        return [server for server in self.servers if server.can_fit(request)]
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, server_id: int, request: ResourceVector) -> Placement:
+        """Allocate ``request`` on a named server, returning a Placement."""
+        server = self.server(server_id)
+        device_id = server.allocate(request)
+        placement = Placement(
+            placement_id=next(self._next_placement_id),
+            server_id=server_id,
+            resources=request,
+            gpu_device_id=device_id,
+        )
+        self._placements[placement.placement_id] = placement
+        self.version += 1
+        return placement
+
+    def release(self, placement: Placement) -> None:
+        if placement.placement_id not in self._placements:
+            raise AllocationError(f"unknown placement {placement.placement_id}")
+        server = self.server(placement.server_id)
+        server.release(placement.resources, placement.gpu_device_id)
+        del self._placements[placement.placement_id]
+        self.version += 1
+
+    @property
+    def placements(self) -> List[Placement]:
+        return list(self._placements.values())
+
+    # ------------------------------------------------------------------
+    # aggregate metrics
+    # ------------------------------------------------------------------
+    @property
+    def total_capacity(self) -> ResourceVector:
+        total = ResourceVector()
+        for server in self.servers:
+            if server.healthy:
+                total = total + server.capacity
+        return total
+
+    @property
+    def total_used(self) -> ResourceVector:
+        total = ResourceVector()
+        for server in self.servers:
+            if server.healthy:
+                total = total + server.used
+        return total
+
+    def active_servers(self) -> List[Server]:
+        return [server for server in self.servers if server.is_active()]
+
+    def weighted_used(self) -> float:
+        """beta * used_cpu + used_gpu across the cluster."""
+        used = self.total_used
+        return used.weighted(self.beta)
+
+    def weighted_active_capacity(self) -> float:
+        """Eq. 2's objective value: resources of every *used* server."""
+        return sum(server.weighted_capacity(self.beta) for server in self.active_servers())
+
+    def fragment_ratio(self) -> float:
+        """Average unallocated fraction across active servers (Fig. 17b)."""
+        active = self.active_servers()
+        if not active:
+            return 0.0
+        return sum(server.fragment_ratio(self.beta) for server in active) / len(active)
+
+    def utilisation(self) -> float:
+        """Weighted used resources over weighted total capacity."""
+        capacity = self.total_capacity.weighted(self.beta)
+        if capacity == 0:
+            return 0.0
+        return self.weighted_used() / capacity
+
+    def reset(self) -> None:
+        """Release every placement (used between benchmark repetitions)."""
+        for placement in list(self._placements.values()):
+            self.release(placement)
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def fail_server(self, server_id: int) -> List[Placement]:
+        """Take a server down; its placements are lost, not released.
+
+        Returns the placements that were on the failed machine so the
+        control plane can terminate the corresponding instances and
+        re-provision elsewhere.
+        """
+        server = self.server(server_id)
+        if not server.healthy:
+            return []
+        server.healthy = False
+        lost = [
+            placement
+            for placement in self._placements.values()
+            if placement.server_id == server_id
+        ]
+        for placement in lost:
+            del self._placements[placement.placement_id]
+        self.version += 1
+        return lost
+
+    def recover_server(self, server_id: int) -> None:
+        """Bring a failed server back, empty (a replacement machine)."""
+        server = self.server(server_id)
+        if server.healthy:
+            return
+        server.reset_free()
+        server.healthy = True
+        self.version += 1
+
+    def healthy_servers(self) -> List[Server]:
+        return [server for server in self.servers if server.healthy]
+
+
+def build_testbed_cluster(
+    num_servers: int = 8,
+    cpu_per_server: int = 16,
+    gpus_per_server: int = 2,
+    memory_mb: int = 128 * 1024,
+    beta: float = BETA,
+) -> Cluster:
+    """Build the paper's local testbed: 8 machines, 16 GPUs total (Table 2)."""
+    servers = [
+        Server(
+            server_id=i,
+            cpu_capacity=cpu_per_server,
+            memory_capacity_mb=memory_mb,
+            num_gpus=gpus_per_server,
+        )
+        for i in range(num_servers)
+    ]
+    return Cluster(servers=servers, beta=beta)

@@ -1,0 +1,77 @@
+"""Heterogeneous cluster builders.
+
+Production inference clusters mix GPU boxes with cheaper CPU-only
+nodes; INFless's hybrid CPU/GPU abstraction (and the dynamic-beta
+pricing in the scheduler) is exactly what lets one scheduler treat
+both.  These builders create such mixed clusters for experiments
+beyond the paper's homogeneous testbed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import scarcity_beta
+from repro.cluster.server import Server
+
+
+def build_mixed_cluster(
+    gpu_servers: int = 4,
+    cpu_servers: int = 8,
+    cpu_per_gpu_server: int = 16,
+    cpu_per_cpu_server: int = 32,
+    gpus_per_gpu_server: int = 2,
+    memory_mb: int = 128 * 1024,
+    beta: Optional[float] = None,
+) -> Cluster:
+    """A cluster of GPU boxes plus CPU-only nodes.
+
+    CPU-only servers carry more cores (the usual trade: a GPU box
+    spends its budget on accelerators).  ``beta`` defaults to the
+    cluster-level scarcity ratio so the Eq. 2 objective stays balanced
+    for the actual resource mix.
+    """
+    if gpu_servers < 0 or cpu_servers < 0 or gpu_servers + cpu_servers == 0:
+        raise ValueError("need at least one server")
+    servers: List[Server] = []
+    server_id = 0
+    for _ in range(gpu_servers):
+        servers.append(
+            Server(
+                server_id=server_id,
+                cpu_capacity=cpu_per_gpu_server,
+                memory_capacity_mb=memory_mb,
+                num_gpus=gpus_per_gpu_server,
+            )
+        )
+        server_id += 1
+    for _ in range(cpu_servers):
+        servers.append(
+            Server(
+                server_id=server_id,
+                cpu_capacity=cpu_per_cpu_server,
+                memory_capacity_mb=memory_mb,
+                num_gpus=0,
+            )
+        )
+        server_id += 1
+    total_cpu = sum(server.cpu_capacity for server in servers)
+    total_gpu = sum(server.gpu_capacity for server in servers)
+    if beta is None:
+        beta = (
+            scarcity_beta(total_cpu, total_gpu) if total_gpu > 0 else 1.0
+        )
+    return Cluster(servers=servers, beta=beta)
+
+
+def describe_cluster(cluster: Cluster) -> str:
+    """One-line inventory used by examples and logs."""
+    gpu_boxes = sum(1 for server in cluster.servers if server.num_gpus > 0)
+    cpu_boxes = len(cluster.servers) - gpu_boxes
+    total = cluster.total_capacity
+    return (
+        f"{len(cluster.servers)} servers ({gpu_boxes} GPU + {cpu_boxes} CPU-only):"
+        f" {total.cpu} cores, {total.gpu / 100:.0f} GPUs,"
+        f" beta={cluster.beta:.2f}"
+    )

@@ -1,0 +1,235 @@
+"""A single server with CPU cores, MPS-partitioned GPUs and memory.
+
+Mirrors the testbed machine of Table 2: dual-socket Xeon (16 physical
+cores used for functions), 128 GB memory and two RTX 2080Ti GPUs whose
+SMs are spatially shared between instances via CUDA MPS.  An instance's
+GPU quota must come from a *single* device — MPS cannot split one
+client's share across GPUs — so the server tracks free SM percentage
+per device and picks a device at allocation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.resources import BETA, ResourceVector
+
+
+class AllocationError(RuntimeError):
+    """Raised when an allocation cannot be satisfied by a server."""
+
+
+@dataclass
+class GpuDevice:
+    """One physical GPU partitioned by SM percentage."""
+
+    device_id: int
+    capacity: int = 100
+    free: int = 100
+
+    def can_fit(self, gpu_percent: int) -> bool:
+        return gpu_percent <= self.free
+
+    def allocate(self, gpu_percent: int) -> None:
+        if not self.can_fit(gpu_percent):
+            raise AllocationError(
+                f"GPU {self.device_id} has {self.free}% free, asked {gpu_percent}%"
+            )
+        self.free -= gpu_percent
+
+    def release(self, gpu_percent: int) -> None:
+        if self.free + gpu_percent > self.capacity:
+            raise AllocationError(
+                f"GPU {self.device_id} release of {gpu_percent}% overflows capacity"
+            )
+        self.free += gpu_percent
+
+
+@dataclass
+class Server:
+    """A cluster node holding allocatable CPU, GPU and memory.
+
+    ``allocate`` returns the GPU device chosen for the instance (or None
+    for CPU-only instances) so the caller can release precisely later.
+    """
+
+    server_id: int
+    cpu_capacity: int = 16
+    memory_capacity_mb: int = 128 * 1024
+    num_gpus: int = 2
+    #: failed servers accept no placements and drop out of aggregates.
+    healthy: bool = True
+    cpu_free: int = field(init=False)
+    memory_free_mb: int = field(init=False)
+    gpus: List[GpuDevice] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cpu_free = self.cpu_capacity
+        self.memory_free_mb = self.memory_capacity_mb
+        self.gpus = [GpuDevice(device_id=i) for i in range(self.num_gpus)]
+        # Incrementally-maintained aggregates: the scheduler probes
+        # can_fit()/gpu_free millions of times at cluster scale, so
+        # they must be O(1).
+        self._gpu_free_total = sum(gpu.free for gpu in self.gpus)
+        self._gpu_free_max = max(
+            (gpu.free for gpu in self.gpus), default=0
+        )
+
+    def _refresh_gpu_totals(self) -> None:
+        self._gpu_free_total = sum(gpu.free for gpu in self.gpus)
+        self._gpu_free_max = max((gpu.free for gpu in self.gpus), default=0)
+
+    # ------------------------------------------------------------------
+    # capacity views
+    # ------------------------------------------------------------------
+    @property
+    def gpu_capacity(self) -> int:
+        """Total GPU percent units across all devices (``G_j`` in Eq. 6)."""
+        return sum(gpu.capacity for gpu in self.gpus)
+
+    @property
+    def gpu_free(self) -> int:
+        return self._gpu_free_total
+
+    @property
+    def capacity(self) -> ResourceVector:
+        return ResourceVector(
+            cpu=self.cpu_capacity,
+            gpu=self.gpu_capacity,
+            memory_mb=self.memory_capacity_mb,
+        )
+
+    @property
+    def free(self) -> ResourceVector:
+        return ResourceVector(
+            cpu=self.cpu_free, gpu=self.gpu_free, memory_mb=self.memory_free_mb
+        )
+
+    @property
+    def used(self) -> ResourceVector:
+        return self.capacity - self.free
+
+    def is_active(self) -> bool:
+        """True when at least one instance occupies this server (``y_j = 1``)."""
+        return self.healthy and (self.used.cpu > 0 or self.used.gpu > 0)
+
+    def reset_free(self) -> None:
+        """Restore all capacity to the free pool (recovered machine)."""
+        self.cpu_free = self.cpu_capacity
+        self.memory_free_mb = self.memory_capacity_mb
+        for gpu in self.gpus:
+            gpu.free = gpu.capacity
+        self._refresh_gpu_totals()
+
+    def weighted_capacity(self, beta: float = BETA) -> float:
+        return beta * self.cpu_capacity + self.gpu_capacity
+
+    def weighted_free(self, beta: float = BETA) -> float:
+        return beta * self.cpu_free + self.gpu_free
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def can_fit(self, request: ResourceVector) -> bool:
+        """Whether the request fits, respecting single-device GPU quotas."""
+        if not self.healthy:
+            return False
+        if request.cpu > self.cpu_free or request.memory_mb > self.memory_free_mb:
+            return False
+        if request.gpu == 0:
+            return True
+        return request.gpu <= 100 and request.gpu <= self._gpu_free_max
+
+    def _pick_gpu(self, gpu_percent: int) -> GpuDevice:
+        # Best-fit: the feasible device with the least leftover, which
+        # keeps large contiguous SM shares available on the other GPU.
+        candidates = [gpu for gpu in self.gpus if gpu.can_fit(gpu_percent)]
+        if not candidates:
+            raise AllocationError(
+                f"server {self.server_id}: no GPU with {gpu_percent}% free"
+            )
+        return min(candidates, key=lambda gpu: gpu.free - gpu_percent)
+
+    def allocate(self, request: ResourceVector) -> Optional[int]:
+        """Allocate the request; return the GPU device id used (or None).
+
+        Raises AllocationError when the request does not fit.
+        """
+        if request.cpu > self.cpu_free:
+            raise AllocationError(
+                f"server {self.server_id}: {self.cpu_free} cores free,"
+                f" asked {request.cpu}"
+            )
+        if request.memory_mb > self.memory_free_mb:
+            raise AllocationError(
+                f"server {self.server_id}: {self.memory_free_mb} MB free,"
+                f" asked {request.memory_mb} MB"
+            )
+        device_id: Optional[int] = None
+        if request.gpu > 0:
+            device = self._pick_gpu(request.gpu)
+            device.allocate(request.gpu)
+            device_id = device.device_id
+            self._refresh_gpu_totals()
+        self.cpu_free -= request.cpu
+        self.memory_free_mb -= request.memory_mb
+        return device_id
+
+    def release(self, request: ResourceVector, gpu_device_id: Optional[int]) -> None:
+        """Return a previous allocation to the free pool."""
+        if request.gpu > 0:
+            if gpu_device_id is None:
+                raise AllocationError("GPU allocation released without a device id")
+            self.gpus[gpu_device_id].release(request.gpu)
+            self._refresh_gpu_totals()
+        self.cpu_free += request.cpu
+        self.memory_free_mb += request.memory_mb
+        if self.cpu_free > self.cpu_capacity or self.memory_free_mb > self.memory_capacity_mb:
+            raise AllocationError(f"server {self.server_id}: release overflow")
+
+    # ------------------------------------------------------------------
+    # fragmentation
+    # ------------------------------------------------------------------
+    def fragment_ratio(self, beta: float = BETA) -> float:
+        """Unallocated fraction of this server's weighted resources.
+
+        The paper's Fig. 17(b) measures "the amount of unallocated
+        resources in each active server divided by all the server's
+        resources"; inactive servers do not count as fragments.
+        """
+        return self.weighted_free(beta) / self.weighted_capacity(beta)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A compact dict for logging and metrics collection."""
+        return {
+            "server_id": self.server_id,
+            "cpu_free": self.cpu_free,
+            "gpu_free": self.gpu_free,
+            "memory_free_mb": self.memory_free_mb,
+            "active": self.is_active(),
+        }
+
+
+def split_gpu_allocation(total_percent: int, num_gpus: int) -> List[Tuple[int, int]]:
+    """Decompose a multi-GPU percentage into per-device (device, share) pairs.
+
+    Utility for baselines that size aggregate GPU needs before placing
+    them; INFless itself always allocates single-device quotas.
+    """
+    if total_percent < 0:
+        raise ValueError("total_percent must be non-negative")
+    shares = []
+    remaining = total_percent
+    for device in range(num_gpus):
+        take = min(100, remaining)
+        if take > 0:
+            shares.append((device, take))
+        remaining -= take
+        if remaining <= 0:
+            break
+    if remaining > 0:
+        raise AllocationError(
+            f"{total_percent}% of GPU cannot fit on {num_gpus} devices"
+        )
+    return shares

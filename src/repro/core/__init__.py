@@ -1,0 +1,50 @@
+"""INFless core: the paper's primary contribution.
+
+Non-uniform built-in batching (section 3.2), the greedy batch/resource/
+placement scheduler (Algorithm 1, section 3.4), the batch-aware
+dispatcher, the auto-scaling engine and the LSTH cold-start policy
+(section 3.5), tied together by :class:`~repro.core.engine.INFlessEngine`.
+"""
+
+from repro.core.function import FunctionSpec
+from repro.core.batching import RateBounds, rate_bounds, BatchQueue
+from repro.core.instance import Instance, InstanceState
+from repro.core.efficiency import resource_efficiency
+from repro.core.dispatcher import DispatchPlan, plan_dispatch, ALPHA_DEFAULT
+from repro.core.scheduler import GreedyScheduler, ScheduledInstance, SchedulingError
+from repro.core.coldstart import (
+    ColdStartDecision,
+    FixedKeepAlive,
+    KeepAlivePolicy,
+    WindowedKeepAlive,
+)
+from repro.core.histogram import IdleTimeHistogram
+from repro.core.hhp import HybridHistogramPolicy
+from repro.core.lsth import LongShortTermHistogram
+from repro.core.autoscaler import AutoScaler
+from repro.core.engine import INFlessEngine
+
+__all__ = [
+    "FunctionSpec",
+    "RateBounds",
+    "rate_bounds",
+    "BatchQueue",
+    "Instance",
+    "InstanceState",
+    "resource_efficiency",
+    "DispatchPlan",
+    "plan_dispatch",
+    "ALPHA_DEFAULT",
+    "GreedyScheduler",
+    "ScheduledInstance",
+    "SchedulingError",
+    "ColdStartDecision",
+    "FixedKeepAlive",
+    "KeepAlivePolicy",
+    "WindowedKeepAlive",
+    "IdleTimeHistogram",
+    "HybridHistogramPolicy",
+    "LongShortTermHistogram",
+    "AutoScaler",
+    "INFlessEngine",
+]

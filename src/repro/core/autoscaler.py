@@ -1,0 +1,311 @@
+"""The auto-scaling engine (sections 3.2 and 3.4).
+
+Monitors each function's real-time RPS, keeps per-instance shares
+inside their Eq. 1 ranges via the dispatcher, launches new instances
+through Algorithm 1 for overflow load, and retires instances into a
+warm pool governed by the cold-start policy:
+
+* a retired instance with pre-warm window 0 stays **reserved**: it
+  holds its resources for the keep-alive window and can be reclaimed
+  with zero cold start (the reserved idle time is the policy's
+  resource waste);
+* with a positive pre-warm window the instance unloads immediately and
+  its image is **prefetched** again at the pre-warm time -- a scale-up
+  of the function inside ``[prewarm, prewarm + keepalive]`` skips the
+  cold-start latency but must re-acquire resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.coldstart import ColdStartDecision, KeepAlivePolicy
+from repro.core.dispatcher import ALPHA_DEFAULT, DispatchPlan, plan_dispatch
+from repro.core.function import FunctionSpec
+from repro.core.instance import Instance, InstanceState
+from repro.core.scheduler import GreedyScheduler
+
+
+@dataclass
+class WarmPoolEntry:
+    """A retired instance kept warm (reserved) or prefetched."""
+
+    instance: Instance
+    expires_at: float
+    reserved: bool
+    available_from: float  # prewarm time for prefetched entries
+    entered_at: float
+
+
+@dataclass
+class ScalingStats:
+    """Counters for cold-start and provisioning analyses."""
+
+    launches: int = 0
+    cold_starts: int = 0
+    warm_reuses: int = 0
+    prefetch_reuses: int = 0
+    releases: int = 0
+    #: instances lost to server failures.
+    failures: int = 0
+    reserved_idle_resource_s: float = 0.0
+
+    @property
+    def cold_start_rate(self) -> float:
+        if self.launches == 0:
+            return 0.0
+        return self.cold_starts / self.launches
+
+
+@dataclass
+class ScalingAction:
+    """What one control step did for one function."""
+
+    plan: DispatchPlan
+    launched: List[Instance] = field(default_factory=list)
+    reclaimed: List[Instance] = field(default_factory=list)
+    leftover_rps: float = 0.0
+    scheduling_overhead_s: float = 0.0
+
+
+class AutoScaler:
+    """Per-function scaling on top of the greedy scheduler.
+
+    Args:
+        scheduler: Algorithm 1 wrapper owning cluster placement.
+        policy: keep-alive policy deciding warm-pool windows.
+        alpha: the dispatcher's oscillation-damping constant.
+    """
+
+    def __init__(
+        self,
+        scheduler: GreedyScheduler,
+        policy: KeepAlivePolicy,
+        alpha: float = ALPHA_DEFAULT,
+    ) -> None:
+        self.scheduler = scheduler
+        self.policy = policy
+        self.alpha = alpha
+        self._active: Dict[str, List[Instance]] = {}
+        self._warm: Dict[str, List[WarmPoolEntry]] = {}
+        self.stats = ScalingStats()
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def active_instances(self, function_name: str) -> List[Instance]:
+        return list(self._active.get(function_name, []))
+
+    def all_active_instances(self) -> List[Instance]:
+        return [inst for group in self._active.values() for inst in group]
+
+    def warm_pool(self, function_name: str) -> List[WarmPoolEntry]:
+        return list(self._warm.get(function_name, []))
+
+    # ------------------------------------------------------------------
+    # warm pool maintenance
+    # ------------------------------------------------------------------
+    def expire_warm_pool(self, now: float) -> None:
+        """Unload warm-pool entries whose keep-alive window elapsed."""
+        for name, entries in self._warm.items():
+            kept: List[WarmPoolEntry] = []
+            for entry in entries:
+                if now >= entry.expires_at:
+                    self._unload(entry, until=entry.expires_at)
+                else:
+                    kept.append(entry)
+            self._warm[name] = kept
+
+    def _unload(self, entry: WarmPoolEntry, until: float) -> None:
+        if entry.reserved:
+            held = max(0.0, until - entry.entered_at)
+            weighted = entry.instance.config.weighted_cost(
+                self.scheduler.cluster.beta
+            )
+            self.stats.reserved_idle_resource_s += held * weighted
+            self.scheduler.release(entry.instance)
+        entry.instance.state = InstanceState.TERMINATED
+
+    def _retire(self, function: FunctionSpec, instance: Instance, now: float) -> None:
+        decision = self.policy.windows(function.name, now)
+        instance.assigned_rate = 0.0
+        pool = self._warm.setdefault(function.name, [])
+        if decision.keepalive_s <= 0:
+            instance.state = InstanceState.WARM_IDLE
+            entry = WarmPoolEntry(instance, now, True, now, now)
+            self._unload(entry, until=now)
+            self.stats.releases += 1
+            return
+        if decision.prewarm_s <= 0:
+            instance.state = InstanceState.WARM_IDLE
+            pool.append(
+                WarmPoolEntry(
+                    instance=instance,
+                    expires_at=now + decision.keepalive_s,
+                    reserved=True,
+                    available_from=now,
+                    entered_at=now,
+                )
+            )
+        else:
+            # Unload now, prefetch the image at the pre-warm time.
+            self.scheduler.release(instance)
+            instance.state = InstanceState.WARM_IDLE
+            pool.append(
+                WarmPoolEntry(
+                    instance=instance,
+                    expires_at=now + decision.prewarm_s + decision.keepalive_s,
+                    reserved=False,
+                    available_from=now + decision.prewarm_s,
+                    entered_at=now,
+                )
+            )
+        self.stats.releases += 1
+
+    def _reclaim(
+        self, function: FunctionSpec, residual_rps: float, now: float
+    ) -> List[Instance]:
+        """Pull suitable warm-pool instances back into service."""
+        pool = self._warm.get(function.name, [])
+        reclaimed: List[Instance] = []
+        remaining: List[WarmPoolEntry] = []
+        residual = residual_rps
+        for entry in pool:
+            usable = (
+                residual > 0
+                and now < entry.expires_at
+                and now >= entry.available_from
+                and (entry.instance.config.batch == 1
+                     or residual >= entry.instance.r_low)
+            )
+            if not usable:
+                remaining.append(entry)
+                continue
+            instance = entry.instance
+            if entry.reserved:
+                # Account the reserved idle interval as policy waste.
+                held = max(0.0, now - entry.entered_at)
+                weighted = instance.config.weighted_cost(self.scheduler.cluster.beta)
+                self.stats.reserved_idle_resource_s += held * weighted
+                instance.state = InstanceState.ACTIVE
+                instance.ready_at = now
+                self.stats.warm_reuses += 1
+            else:
+                # Prefetched image: must re-acquire resources, but the
+                # startup skips the model-load latency.
+                placement = self._try_reallocate(instance)
+                if placement is None:
+                    remaining.append(entry)
+                    continue
+                instance.placement = placement
+                instance.state = InstanceState.ACTIVE
+                instance.ready_at = now
+                self.stats.prefetch_reuses += 1
+            residual -= instance.r_up
+            reclaimed.append(instance)
+        self._warm[function.name] = remaining
+        return reclaimed
+
+    def _try_reallocate(self, instance: Instance):
+        cluster = self.scheduler.cluster
+        memory = int(round(instance.function.model.memory_mb(instance.config.batch)))
+        resources = instance.config.resources(memory_mb=memory)
+        for server in cluster.servers:
+            if server.can_fit(resources):
+                return cluster.allocate(server.server_id, resources)
+        return None
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def evict_lost(self, lost_placement_ids, now: float) -> List[Instance]:
+        """Drop instances whose placements died with a failed server.
+
+        Their resources are already gone (the cluster removed the
+        placements); this just terminates the bookkeeping so the next
+        control step re-provisions capacity elsewhere.
+        """
+        lost_instances: List[Instance] = []
+        for name, group in self._active.items():
+            kept = []
+            for instance in group:
+                placement = instance.placement
+                if placement is not None and placement.placement_id in lost_placement_ids:
+                    instance.placement = None
+                    instance.state = InstanceState.TERMINATED
+                    instance.assigned_rate = 0.0
+                    lost_instances.append(instance)
+                else:
+                    kept.append(instance)
+            self._active[name] = kept
+        for name, entries in self._warm.items():
+            kept_entries = []
+            for entry in entries:
+                placement = entry.instance.placement
+                if placement is not None and placement.placement_id in lost_placement_ids:
+                    entry.instance.placement = None
+                    entry.instance.state = InstanceState.TERMINATED
+                else:
+                    kept_entries.append(entry)
+            self._warm[name] = kept_entries
+        self.stats.failures += len(lost_instances)
+        return lost_instances
+
+    # ------------------------------------------------------------------
+    # the control step
+    # ------------------------------------------------------------------
+    def observe(
+        self, function: FunctionSpec, rps: float, now: float
+    ) -> ScalingAction:
+        """One control step for one function at time ``now``.
+
+        Runs the dispatcher over the function's active instances,
+        reclaims warm instances and/or schedules new ones for overflow
+        load, retires surplus instances per case (iii), and returns the
+        resulting action (with per-instance rates applied in place).
+        """
+        self.expire_warm_pool(now)
+        active = self._active.setdefault(function.name, [])
+        plan = plan_dispatch(active, rps, alpha=self.alpha, beta=self.scheduler.cluster.beta)
+
+        for instance in plan.to_release:
+            active.remove(instance)
+            self._retire(function, instance, now)
+
+        launched: List[Instance] = []
+        reclaimed: List[Instance] = []
+        leftover = 0.0
+        overhead = 0.0
+        if plan.residual_rps > 0:
+            reclaimed = self._reclaim(function, plan.residual_rps, now)
+            residual = plan.residual_rps - sum(inst.r_up for inst in reclaimed)
+            if residual > 1e-9:
+                outcome = self.scheduler.schedule(function, residual)
+                launched = outcome.instances
+                leftover = outcome.leftover_rps
+                overhead = outcome.overhead_s
+                for instance in launched:
+                    instance.ready_at = now + function.model.cold_start_s
+                    self.stats.cold_starts += 1
+            self.stats.launches += len(launched) + len(reclaimed)
+            active.extend(reclaimed)
+            active.extend(launched)
+            # Re-plan shares over the enlarged instance set.
+            plan = plan_dispatch(active, rps, alpha=self.alpha, beta=self.scheduler.cluster.beta)
+
+        for instance in active:
+            instance.assigned_rate = plan.rates.get(instance.instance_id, 0.0)
+            if (
+                instance.state == InstanceState.COLD_STARTING
+                and now >= instance.ready_at
+            ):
+                instance.state = InstanceState.ACTIVE
+
+        return ScalingAction(
+            plan=plan,
+            launched=launched,
+            reclaimed=reclaimed,
+            leftover_rps=leftover,
+            scheduling_overhead_s=overhead,
+        )

@@ -1,0 +1,174 @@
+"""Keep-alive / pre-warming policy interface and baselines.
+
+A policy observes a function's invocations and emits a
+:class:`ColdStartDecision` -- the (pre-warming window, keep-alive
+window) pair of section 3.5:
+
+* **pre-warming window**: time the policy waits after the last
+  execution before loading the function image again in anticipation of
+  the next invocation (0 = never unload during the keep-alive window);
+* **keep-alive window**: how long the loaded image is then kept alive.
+
+An idle gap ``IT`` therefore hits a *warm* image iff
+``prewarm <= IT <= prewarm + keepalive``; the wasted loaded-idle time is
+``IT - prewarm`` on a hit and ``keepalive`` on a tail miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.core.histogram import IdleTimeHistogram
+
+
+@dataclass(frozen=True)
+class ColdStartDecision:
+    """The (pre-warm, keep-alive) windows for one function, in seconds."""
+
+    prewarm_s: float
+    keepalive_s: float
+
+    def __post_init__(self) -> None:
+        if self.prewarm_s < 0 or self.keepalive_s < 0:
+            raise ValueError("windows must be non-negative")
+
+    def is_warm_at(self, idle_time_s: float) -> bool:
+        """Would an idle gap of this length find the image loaded?"""
+        return self.prewarm_s <= idle_time_s <= self.prewarm_s + self.keepalive_s
+
+    def wasted_loaded_time(self, idle_time_s: float) -> float:
+        """Reserved-but-idle resource seconds for a gap of this length.
+
+        With ``prewarm == 0`` the instance stays *reserved*: it holds
+        its CPU/GPU quota for the whole keep-alive window, so the waste
+        is the covered part of the gap.  With ``prewarm > 0`` the
+        instance unloads immediately and only its *image* is prefetched
+        at the pre-warm time -- quota is re-acquired when the next
+        invocation actually arrives (see
+        :class:`repro.core.autoscaler.AutoScaler`), so the reserved
+        waste of the gap is zero.  This is exactly the paper's "idle
+        resource waste": pre-warming trades a small cold-start risk for
+        freeing the quota during predictable gaps.
+        """
+        if self.prewarm_s > 0:
+            return 0.0
+        return min(idle_time_s, self.keepalive_s)
+
+
+class KeepAlivePolicy(Protocol):
+    """What the cold-start manager expects from a policy."""
+
+    name: str
+
+    def record_invocation(self, function_name: str, now: float) -> None:
+        """Observe one invocation of a function."""
+
+    def windows(self, function_name: str, now: float) -> ColdStartDecision:
+        """Current (pre-warm, keep-alive) decision for a function."""
+
+
+class FixedKeepAlive:
+    """The fixed keep-alive of commercial platforms and OpenFaaS+.
+
+    Never pre-warms; keeps every idle image loaded for a constant
+    window (OpenFaaS+ uses 300 s in the paper's comparison, Table 3).
+    """
+
+    def __init__(self, keepalive_s: float = 300.0) -> None:
+        if keepalive_s < 0:
+            raise ValueError("keepalive must be non-negative")
+        self.keepalive_s = keepalive_s
+        self.name = f"fixed-{int(keepalive_s)}s"
+
+    def record_invocation(self, function_name: str, now: float) -> None:
+        """Fixed policies ignore the invocation history."""
+
+    def windows(self, function_name: str, now: float) -> ColdStartDecision:
+        return ColdStartDecision(prewarm_s=0.0, keepalive_s=self.keepalive_s)
+
+
+class WindowedKeepAlive:
+    """Shared machinery for histogram-driven policies (HHP, LSTH).
+
+    Tracks per-function last-invocation times and feeds idle gaps into
+    per-function histograms created by :meth:`_new_histograms`.
+    """
+
+    #: decision used until a function has enough history.
+    DEFAULT_DECISION = ColdStartDecision(prewarm_s=0.0, keepalive_s=600.0)
+    #: minimum observations before the histogram is considered
+    #: representative.
+    MIN_OBSERVATIONS = 10
+    #: heads below this threshold are clamped to "never unload".
+    MIN_PREWARM_S = 60.0
+    #: pre-warming (unloading between invocations) is only safe when
+    #: the idle-time distribution is predictable; a window whose
+    #: coefficient of variation exceeds this contributes no head (the
+    #: representativeness check of the original hybrid histogram
+    #: policy).
+    PREWARM_MAX_CV = 0.35
+
+    #: how long a computed decision stays valid; real deployments
+    #: refresh histogram-derived windows periodically, not per request.
+    DECISION_REFRESH_S = 10.0
+
+    def __init__(self, head_q: float = 5.0, tail_q: float = 99.0) -> None:
+        self.head_q = head_q
+        self.tail_q = tail_q
+        self._last_invocation: dict = {}
+        self._histograms: dict = {}
+        self._decision_cache: dict = {}
+
+    def _new_histograms(self):
+        raise NotImplementedError
+
+    def _histograms_for(self, function_name: str):
+        if function_name not in self._histograms:
+            self._histograms[function_name] = self._new_histograms()
+        return self._histograms[function_name]
+
+    def record_invocation(self, function_name: str, now: float) -> None:
+        last = self._last_invocation.get(function_name)
+        self._last_invocation[function_name] = now
+        if last is None:
+            return
+        idle = max(0.0, now - last)
+        for histogram in self._histograms_for(function_name):
+            histogram.record(now, idle)
+
+    def windows(self, function_name: str, now: float) -> ColdStartDecision:
+        """Current decision, refreshed at most every DECISION_REFRESH_S."""
+        cached = self._decision_cache.get(function_name)
+        if cached is not None:
+            computed_at, decision = cached
+            if 0.0 <= now - computed_at < self.DECISION_REFRESH_S:
+                return decision
+        decision = self._compute_windows(function_name, now)
+        self._decision_cache[function_name] = (now, decision)
+        return decision
+
+    def _compute_windows(self, function_name: str, now: float) -> ColdStartDecision:
+        raise NotImplementedError
+
+    @staticmethod
+    def _clamp_head(head: float, min_prewarm: float) -> float:
+        """Heads shorter than the threshold mean 'never unload'."""
+        return 0.0 if head < min_prewarm else head
+
+    def _head_tail(
+        self,
+        histogram: IdleTimeHistogram,
+        now: float,
+        min_observations: Optional[int] = None,
+    ) -> Optional[tuple]:
+        required = (
+            self.MIN_OBSERVATIONS if min_observations is None else min_observations
+        )
+        if histogram.count(now) < required:
+            return None
+        head, tail = histogram.head_tail(now, self.head_q, self.tail_q)
+        cv = histogram.coefficient_of_variation(now)
+        if cv is None or cv > self.PREWARM_MAX_CV:
+            head = 0.0  # unpredictable idles: never unload early
+        return head, tail

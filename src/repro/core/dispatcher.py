@@ -1,0 +1,152 @@
+"""The batch-aware dispatcher: per-instance RPS control (section 3.2).
+
+Given a function's live instances and the measured arrival rate ``R``,
+the dispatcher keeps every instance's share inside its Eq. 1 range and
+decides when to scale:
+
+* case (i) ``R > R_max``: saturate every instance at ``r_up`` and hand
+  the residual ``R - R_max`` to the auto-scaling engine;
+* case (ii) ``alpha*R_min + (1-alpha)*R_max <= R <= R_max``: shrink each
+  instance's share below ``r_up`` in proportion to its range width
+  (``alpha = 0.8`` damps scaling oscillation under fluctuation);
+* case (iii) ``R < alpha*R_min + (1-alpha)*R_max``: release extra
+  instances (least resource-efficient first) until case (ii) applies,
+  then redistribute.
+
+Deviation note (also in DESIGN.md): the paper's printed case (ii)
+formula divides by ``R_min``, which is ill-defined for batch-1
+instances (``r_low = 0``) and does not generally make shares sum to
+``R``; we distribute the deficit ``R_max - R`` proportionally to range
+widths, which preserves the formula's intent exactly (shares fall
+linearly from ``r_up`` toward ``r_low`` as ``R`` drops) and guarantees
+``sum(r_i) = R`` with every ``r_i`` in range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.efficiency import rps_per_resource
+from repro.core.instance import Instance
+
+#: the paper's oscillation-damping constant.
+ALPHA_DEFAULT = 0.8
+
+
+@dataclass
+class DispatchPlan:
+    """The dispatcher's decision for one function at one control step."""
+
+    #: instance_id -> RPS share r_i for instances kept serving.
+    rates: Dict[int, float] = field(default_factory=dict)
+    #: RPS the current instances cannot absorb (case i); the
+    #: auto-scaling engine must launch new instances for it.
+    residual_rps: float = 0.0
+    #: instances to retire (case iii).
+    to_release: List[Instance] = field(default_factory=list)
+    #: which of the three section-3.2 cases applied.
+    case: str = "ii"
+
+    @property
+    def total_assigned(self) -> float:
+        return sum(self.rates.values())
+
+
+def _lower_trigger(r_min: float, r_max: float, alpha: float) -> float:
+    """The case (ii)/(iii) boundary ``alpha*R_min + (1-alpha)*R_max``."""
+    return alpha * r_min + (1.0 - alpha) * r_max
+
+
+def _share_rates(instances: Sequence[Instance], rps: float) -> Dict[int, float]:
+    """Case (ii): shrink shares from r_up proportionally to range width."""
+    r_max = sum(inst.r_up for inst in instances)
+    deficit = max(0.0, r_max - rps)
+    total_width = sum(inst.bounds.width for inst in instances)
+    rates: Dict[int, float] = {}
+    if total_width <= 0:
+        # All ranges degenerate (r_low == r_up): spread uniformly.
+        cut = deficit / len(instances)
+        for inst in instances:
+            rates[inst.instance_id] = max(0.0, inst.r_up - cut)
+        return rates
+    for inst in instances:
+        cut = deficit * inst.bounds.width / total_width
+        rates[inst.instance_id] = inst.r_up - cut
+    return rates
+
+
+def plan_dispatch(
+    instances: Sequence[Instance],
+    rps: float,
+    alpha: float = ALPHA_DEFAULT,
+    beta: float = None,
+) -> DispatchPlan:
+    """Compute per-instance shares and scaling actions for one function.
+
+    Args:
+        instances: the function's dispatchable instances.
+        rps: measured arrival rate ``R`` toward the function.
+        alpha: oscillation-damping constant in [0, 1].
+        beta: CPU/GPU conversion override for the release ordering.
+
+    Returns:
+        A :class:`DispatchPlan`; the caller (auto-scaler) launches new
+        instances for ``residual_rps`` and retires ``to_release``.
+    """
+    if rps < 0:
+        raise ValueError("rps must be non-negative")
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must lie in [0, 1]")
+    live = [inst for inst in instances if inst.is_dispatchable()]
+    if not live:
+        return DispatchPlan(residual_rps=rps, case="i" if rps > 0 else "ii")
+
+    kwargs = {} if beta is None else {"beta": beta}
+
+    def efficiency(inst: Instance) -> float:
+        return rps_per_resource(
+            inst.r_up, inst.config.cpu, inst.config.gpu, **kwargs
+        )
+
+    kept = sorted(live, key=efficiency)  # least efficient first
+    released: List[Instance] = []
+
+    def releasable(inst: Instance) -> bool:
+        """Only idle instances with empty queues may retire mid-flight."""
+        return not inst.busy and (inst.queue is None or len(inst.queue) == 0)
+
+    # Case (iii): retire least-efficient instances while the load stays
+    # below the lower trigger and the remainder still covers R.
+    while len(kept) > 1:
+        r_min = sum(inst.r_low for inst in kept)
+        r_max = sum(inst.r_up for inst in kept)
+        if rps >= _lower_trigger(r_min, r_max, alpha):
+            break
+        candidates = [inst for inst in kept if releasable(inst)]
+        if not candidates:
+            break
+        candidate = candidates[0]
+        remaining_r_max = r_max - candidate.r_up
+        if rps > remaining_r_max:
+            break  # releasing would force an immediate scale-out
+        released.append(candidate)
+        kept.remove(candidate)
+
+    r_max = sum(inst.r_up for inst in kept)
+    if rps > r_max:
+        # Case (i): saturate everyone, scale out for the rest.
+        rates = {inst.instance_id: inst.r_up for inst in kept}
+        return DispatchPlan(
+            rates=rates,
+            residual_rps=rps - r_max,
+            to_release=released,
+            case="i",
+        )
+
+    r_min = sum(inst.r_low for inst in kept)
+    case = "iii" if released else (
+        "ii" if rps >= _lower_trigger(r_min, r_max, alpha) else "ii-under"
+    )
+    rates = _share_rates(kept, rps)
+    return DispatchPlan(rates=rates, to_release=released, case=case)

@@ -1,0 +1,79 @@
+"""The resource-efficiency metric e_ij of Eq. 10.
+
+Algorithm 1 scores every (candidate configuration, server) combination
+
+    e_ij = (RPS/resource) / fragmentation
+         = (r_up / (beta*c_i + g_i)) / (1 - (beta*c_i + g_i) / (beta*C_j + G_j))
+
+with the numerator normalised into [0, 1].  High scores favour
+configurations that squeeze more RPS out of each weighted resource unit
+*and* placements that leave little unusable fragment on the server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.resources import BETA
+
+#: lower clamp on the fragmentation denominator.  Taken literally,
+#: Eq. 10 diverges as an instance approaches filling a server, letting
+#: an arbitrarily inefficient configuration win just because it fills
+#: the free space.  Clamping bounds the packing boost (at 1/floor) so
+#: throughput density dominates and packing breaks near-ties -- the
+#: behaviour the paper's own Fig. 13 configurations exhibit.  See
+#: DESIGN.md, deviations.
+FRAGMENTATION_FLOOR = 0.8
+
+
+def rps_per_resource(r_up: float, cpu: int, gpu: int, beta: float = BETA) -> float:
+    """Raw throughput density (requests/s per weighted resource unit)."""
+    cost = beta * cpu + gpu
+    if cost <= 0:
+        raise ValueError("instance must consume some weighted resource")
+    return r_up / cost
+
+
+def resource_efficiency(
+    r_up: float,
+    cpu: int,
+    gpu: int,
+    server_free_cpu: float,
+    server_free_gpu: float,
+    beta: float = BETA,
+    normaliser: Optional[float] = None,
+    fragmentation_floor: Optional[float] = None,
+) -> float:
+    """Eq. 10's e_ij for one configuration on one server.
+
+    Args:
+        r_up: the configuration's rate upper bound (Eq. 1).
+        cpu, gpu: the candidate instance allocation ``c_i, g_i``.
+        server_free_cpu, server_free_gpu: the server's *available*
+            resources ``C_j, G_j`` (the objective's ``C_j/G_j`` are the
+            available resources of server j).
+        beta: the CPU-to-GPU conversion factor.
+        normaliser: value used to scale RPS/resource into [0, 1]; pass
+            the maximum raw density across the candidate set (the
+            scheduler precomputes it).  Defaults to no normalisation.
+
+    Returns:
+        The efficiency score (density over clamped fragmentation).
+    """
+    instance_cost = beta * cpu + gpu
+    server_cost = beta * server_free_cpu + server_free_gpu
+    if instance_cost <= 0 or server_cost <= 0:
+        raise ValueError("weighted costs must be positive")
+    if instance_cost > server_cost + 1e-9:
+        raise ValueError("instance does not fit on server")
+    density = r_up / instance_cost
+    if normaliser and normaliser > 0:
+        density = min(1.0, density / normaliser)
+    if fragmentation_floor is None:
+        # Resolved at call time so experiments can vary the module
+        # constant (see benchmarks/bench_ablation_design_choices.py).
+        import repro.core.efficiency as _self
+
+        fragmentation_floor = _self.FRAGMENTATION_FLOOR
+    fragmentation = 1.0 - instance_cost / server_cost
+    return density / max(fragmentation, fragmentation_floor)

@@ -1,0 +1,145 @@
+"""INFlessEngine: the public facade of the reproduction.
+
+Wires together the pieces of Fig. 4: the COP predictor (model
+profiles), the greedy scheduler (batch/resource/placement decisions),
+the batch-aware dispatcher with non-uniform scaling, and the LSTH
+cold-start manager.  The simulation runtime and the examples talk to
+this class only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.autoscaler import AutoScaler, ScalingAction
+from repro.core.coldstart import KeepAlivePolicy
+from repro.core.dispatcher import ALPHA_DEFAULT
+from repro.core.function import FunctionSpec
+from repro.core.instance import Instance
+from repro.core.lsth import LongShortTermHistogram
+from repro.core.scheduler import GreedyScheduler
+from repro.profiling.configspace import ConfigSpace
+from repro.profiling.predictor import LatencyPredictor, build_default_predictor
+
+
+class INFlessEngine:
+    """The native serverless inference platform.
+
+    Args:
+        cluster: the cluster to manage.
+        predictor: COP latency predictor; profiled on first use when
+            omitted.
+        policy: keep-alive policy (defaults to LSTH with gamma = 0.5).
+        config_space: the discrete instance configuration space.
+        alpha: dispatcher oscillation-damping constant (paper: 0.8).
+        seed: seed for the weighted request router.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        predictor: Optional[LatencyPredictor] = None,
+        policy: Optional[KeepAlivePolicy] = None,
+        config_space: Optional[ConfigSpace] = None,
+        alpha: float = ALPHA_DEFAULT,
+        seed: int = 123,
+    ) -> None:
+        self.name = "infless"
+        self.cluster = cluster
+        self.predictor = predictor or build_default_predictor()
+        self.policy = policy or LongShortTermHistogram()
+        self.scheduler = GreedyScheduler(
+            cluster, self.predictor, config_space=config_space
+        )
+        self.autoscaler = AutoScaler(self.scheduler, self.policy, alpha=alpha)
+        self._functions: Dict[str, FunctionSpec] = {}
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+    def deploy(self, function: FunctionSpec) -> None:
+        """Register a function (the faas-cli 'deploy' step)."""
+        if function.name in self._functions:
+            raise ValueError(f"function {function.name!r} already deployed")
+        self._functions[function.name] = function
+
+    def function(self, name: str) -> FunctionSpec:
+        try:
+            return self._functions[name]
+        except KeyError:
+            known = ", ".join(sorted(self._functions))
+            raise KeyError(f"unknown function {name!r}; deployed: {known}") from None
+
+    @property
+    def functions(self) -> List[FunctionSpec]:
+        return list(self._functions.values())
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def control(self, name: str, rps: float, now: float) -> ScalingAction:
+        """One auto-scaling control step for a function."""
+        return self.autoscaler.observe(self.function(name), rps, now)
+
+    def record_invocation(self, name: str, now: float) -> None:
+        """Feed an invocation into the cold-start policy's histograms."""
+        self.policy.record_invocation(name, now)
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def instances(self, name: str) -> List[Instance]:
+        return self.autoscaler.active_instances(name)
+
+    def route(self, name: str, now: float) -> Optional[Instance]:
+        """Pick an instance for one request, weighted by assigned rates.
+
+        Returns None when the function currently has no dispatchable
+        instance (the runtime parks the request until the next control
+        step launches one).
+        """
+        candidates = [
+            inst
+            for inst in self.autoscaler.active_instances(name)
+            if inst.is_dispatchable()
+        ]
+        if not candidates:
+            return None
+        # Prefer instances whose cold start already finished; fall back
+        # to cold-starting ones (their requests wait for readiness).
+        ready = [inst for inst in candidates if now >= inst.ready_at]
+        candidates = ready or candidates
+        weights = np.array(
+            [max(inst.assigned_rate, 1e-9) for inst in candidates], dtype=float
+        )
+        probabilities = weights / weights.sum()
+        index = int(self._rng.choice(len(candidates), p=probabilities))
+        return candidates[index]
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def handle_server_failure(self, server_id: int, now: float) -> List[Instance]:
+        """React to a machine loss: terminate its instances.
+
+        Returns the lost instances so the serving runtime can re-route
+        their queued requests; the next control step re-provisions the
+        missing capacity on the surviving servers.
+        """
+        lost_placements = self.cluster.fail_server(server_id)
+        ids = {placement.placement_id for placement in lost_placements}
+        return self.autoscaler.evict_lost(ids, now)
+
+    # ------------------------------------------------------------------
+    # capacity views
+    # ------------------------------------------------------------------
+    def capacity_rps(self, name: str) -> float:
+        """Sum of active instances' rate upper bounds."""
+        return sum(inst.r_up for inst in self.autoscaler.active_instances(name))
+
+    def weighted_resources_in_use(self) -> float:
+        return self.cluster.weighted_used()

@@ -1,0 +1,43 @@
+"""Function specifications: what a developer deploys.
+
+INFless exposes inference as Backend-as-a-Service: the developer
+supplies the model and a high-level latency SLO through the function
+template (Fig. 5); everything else (batchsize, resources, scaling,
+placement) is the platform's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.zoo import ModelSpec, get_model
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A deployed inference function.
+
+    Attributes:
+        name: unique function name (the template's ``functionName``).
+        model: the inference model backing the function.
+        slo_s: end-to-end latency SLO in seconds (the template's user-
+            specified performance requirement).
+    """
+
+    name: str
+    model: ModelSpec
+    slo_s: float
+
+    def __post_init__(self) -> None:
+        if self.slo_s <= 0:
+            raise ValueError(f"{self.name}: SLO must be positive")
+        if not self.name:
+            raise ValueError("function name must be non-empty")
+
+    @classmethod
+    def for_model(
+        cls, model_name: str, slo_s: float, name: str = ""
+    ) -> "FunctionSpec":
+        """Convenience constructor from a zoo model name."""
+        model = get_model(model_name)
+        return cls(name=name or f"fn-{model_name}", model=model, slo_s=slo_s)

@@ -1,0 +1,16 @@
+"""The inference model zoo of Table 1.
+
+Eleven models spanning MLPerf and the paper's commercial workloads,
+each built as an operator DAG whose parameter count and GFLOPs match
+Table 1 and whose operator composition matches Fig. 7 (Conv2D dominates
+ResNets, MatMul dominates LSTMs, branchy graphs for TextCNN/DSSM/LSTM).
+"""
+
+from repro.models.zoo import (
+    MODEL_ZOO,
+    ModelSpec,
+    get_model,
+    list_models,
+)
+
+__all__ = ["MODEL_ZOO", "ModelSpec", "get_model", "list_models"]

@@ -1,0 +1,419 @@
+"""Builders for the 11 inference models of Table 1.
+
+Each builder assembles an :class:`~repro.ops.graph.OperatorGraph` from
+the shared operator vocabulary, with two fidelity targets:
+
+* **aggregate work** -- the graph's total GFLOPs is normalised to the
+  Table 1 value, and the parameter count / model size follow the table;
+* **operator composition** -- call counts and the distribution of work
+  across operators follow Fig. 7 (e.g. >95% of ResNet-50 time in
+  Conv2D; MatMul called 81 times in LSTM-2365 and MatMul-family ops
+  taking ~76% of its time; branchy structures for the Q&A models).
+
+Cold-start latency is dominated by loading the model artifact and the
+serving library (section 3.5), so it scales with model size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.ops.costmodel import max_batch_for_model
+from repro.ops.graph import OperatorGraph
+from repro.ops.operator import OperatorSpec
+
+#: container + runtime initialisation part of a cold start, seconds.
+CONTAINER_STARTUP_S = 1.5
+#: model artifact load bandwidth (disk + deserialisation), MB/s.
+MODEL_LOAD_MBPS = 400.0
+#: bytes per parameter (fp32 checkpoints).
+BYTES_PER_PARAM = 4.0
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A deployable inference model.
+
+    Attributes:
+        name: model identifier as used in the paper.
+        params_millions: network size from Table 1 (millions of params).
+        gflops: per-item inference work from Table 1.
+        description: the Table 1 "Description" column.
+        graph: the operator DAG (normalised to ``gflops``).
+    """
+
+    name: str
+    params_millions: float
+    gflops: float
+    description: str
+    graph: OperatorGraph
+
+    @property
+    def model_size_mb(self) -> float:
+        """Serialized artifact size in MB (fp32)."""
+        return self.params_millions * 1e6 * BYTES_PER_PARAM / 1e6
+
+    @property
+    def cold_start_s(self) -> float:
+        """Cold-start latency: container startup + artifact load."""
+        return CONTAINER_STARTUP_S + self.model_size_mb / MODEL_LOAD_MBPS
+
+    @property
+    def max_batch(self) -> int:
+        """Maximum allowable batchsize ``2^max`` (capped at 32, section 3.3)."""
+        return max_batch_for_model(self.gflops)
+
+    def memory_mb(self, batch: int = 1) -> float:
+        """Resident memory of an instance serving this model.
+
+        Weights (plus optimiser-free runtime copies), the serving
+        library, and per-item activation buffers.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        weights = self.model_size_mb * 1.6
+        runtime = 150.0
+        activations_per_item = 20.0 * self.gflops ** 0.5
+        return weights + runtime + activations_per_item * batch
+
+
+def _normalise_gflops(graph: OperatorGraph, target_gflops: float) -> OperatorGraph:
+    """Rescale every node's per-item work so the graph totals ``target``."""
+    current = graph.total_gflops_per_item()
+    if current <= 0:
+        raise ValueError(f"graph {graph.name!r} has no work to scale")
+    scale = target_gflops / current
+    rebuilt = OperatorGraph(name=graph.name)
+    for node in graph.nodes:
+        spec = node.spec
+        rebuilt.add_node(
+            node.node_id,
+            OperatorSpec(
+                kind_name=spec.kind_name,
+                gflops_per_item=spec.gflops_per_item * scale,
+                input_size=spec.input_size,
+                calls=spec.calls,
+            ),
+        )
+    for src, dst in graph.edges():
+        rebuilt.add_edge(src, dst)
+    rebuilt.validate()
+    return rebuilt
+
+
+def _op(kind: str, gflops: float, calls: int = 1) -> OperatorSpec:
+    return OperatorSpec(kind_name=kind, gflops_per_item=gflops, calls=calls)
+
+
+Chain = Sequence[Tuple[str, OperatorSpec]]
+
+
+# ---------------------------------------------------------------------------
+# model builders (relative GFLOPs shares; normalised afterwards)
+# ---------------------------------------------------------------------------
+def _build_bert_v1() -> OperatorGraph:
+    """BERT: 12 transformer layers; MatMul family carries ~95% of work."""
+    graph = OperatorGraph.chain(
+        "bert-v1",
+        [
+            ("embed", _op("Embedding", 0.2, calls=1)),
+            ("qkv_matmul", _op("FusedMatMul", 40.0, calls=36)),
+            ("attn_scores", _op("BatchMatMul", 8.0, calls=12)),
+            ("attn_softmax", _op("Softmax", 0.4, calls=12)),
+            ("attn_context", _op("BatchMatMul", 8.0, calls=12)),
+            ("attn_proj", _op("MatMul", 13.0, calls=12)),
+            ("ffn_up", _op("MatMul", 26.0, calls=12)),
+            ("gelu", _op("Gelu", 0.5, calls=24)),
+            ("ffn_down", _op("MatMul", 26.0, calls=12)),
+            ("layernorm", _op("LayerNorm", 0.6, calls=25)),
+            ("residual", _op("Add", 0.3, calls=24)),
+            ("pooler", _op("MatMul", 1.0, calls=1)),
+            ("classifier", _op("MatMul", 0.1, calls=1)),
+            ("softmax_out", _op("Softmax", 0.01, calls=1)),
+        ],
+    )
+    return graph
+
+
+def _build_resnet50() -> OperatorGraph:
+    """ResNet-50: 8 distinct operators, Conv2D >95% of execution time."""
+    return OperatorGraph.chain(
+        "resnet-50",
+        [
+            ("stem_conv", _op("Conv2D", 2.0, calls=1)),
+            ("maxpool", _op("MaxPool", 0.01, calls=1)),
+            ("convs", _op("Conv2D", 95.0, calls=52)),
+            ("batchnorm", _op("BatchNorm", 0.18, calls=10)),
+            ("relu", _op("Relu", 0.12, calls=16)),
+            ("shortcut_add", _op("Add", 0.1, calls=16)),
+            ("avgpool", _op("AvgPool", 0.01, calls=1)),
+            ("fc", _op("MatMul", 0.4, calls=1)),
+            ("softmax", _op("Softmax", 0.005, calls=1)),
+        ],
+    )
+
+
+def _build_vggnet() -> OperatorGraph:
+    """VGG-style face feature localisation; conv towers + heavy FC head."""
+    return OperatorGraph.chain(
+        "vggnet",
+        [
+            ("convs", _op("Conv2D", 82.0, calls=13)),
+            ("relu", _op("Relu", 0.8, calls=30)),
+            ("maxpool", _op("MaxPool", 0.15, calls=5)),
+            ("bias", _op("BiasAdd", 0.2, calls=16)),
+            ("fc", _op("MatMul", 16.0, calls=3)),
+            ("softmax", _op("Softmax", 0.01, calls=1)),
+        ],
+    )
+
+
+def _build_lstm_2365() -> OperatorGraph:
+    """Attention LSTM for Q&A: branchy DAG, MatMul called 81 times.
+
+    Two parallel encoder branches (question / knowledge-base paths)
+    joined by an attention block -- the overlapping execution paths that
+    give COP its largest prediction error (Fig. 8).
+    """
+    graph = OperatorGraph.chain(
+        "lstm-2365",
+        [
+            ("embed", _op("Embedding", 1.0, calls=2)),
+            ("split", _op("Slice", 0.05, calls=2)),
+        ],
+    )
+    question_branch: Chain = [
+        ("q_matmul", _op("MatMul", 48.0, calls=40)),
+        ("q_sigmoid", _op("Sigmoid", 0.35, calls=12)),
+        ("q_tanh", _op("Tanh", 0.22, calls=8)),
+        ("q_mul", _op("Mul", 0.18, calls=12)),
+    ]
+    context_branch: Chain = [
+        ("c_matmul", _op("MatMul", 46.0, calls=40)),
+        ("c_fused", _op("FusedMatMul", 30.0, calls=20)),
+        ("c_sigmoid", _op("Sigmoid", 0.3, calls=12)),
+        ("c_add", _op("Add", 0.18, calls=8)),
+    ]
+    graph.add_parallel_branches([question_branch, context_branch])
+    graph.append_chain(
+        [
+            ("attn_concat", _op("ConcatV2", 0.15, calls=8)),
+            ("attn_matmul", _op("FusedMatMul", 20.0, calls=10)),
+            ("attn_softmax", _op("Softmax", 0.2, calls=10)),
+            ("gate_mul", _op("Mul", 0.15, calls=10)),
+            ("reduce_sum", _op("Sum", 0.1, calls=1)),
+            ("transpose", _op("Transpose", 0.1, calls=4)),
+            ("gather", _op("Gather", 0.05, calls=4)),
+            ("out_matmul", _op("MatMul", 2.0, calls=1)),
+            ("out_softmax", _op("Softmax", 0.02, calls=1)),
+        ]
+    )
+    return graph
+
+
+def _build_resnet20() -> OperatorGraph:
+    """ResNet-20 (CIFAR-style residual classifier)."""
+    return OperatorGraph.chain(
+        "resnet-20",
+        [
+            ("stem_conv", _op("Conv2D", 3.0, calls=1)),
+            ("convs", _op("Conv2D", 90.0, calls=20)),
+            ("batchnorm", _op("BatchNorm", 1.2, calls=21)),
+            ("relu", _op("Relu", 0.8, calls=19)),
+            ("shortcut_add", _op("Add", 0.3, calls=9)),
+            ("avgpool", _op("AvgPool", 0.02, calls=1)),
+            ("fc", _op("MatMul", 0.5, calls=1)),
+            ("softmax", _op("Softmax", 0.01, calls=1)),
+        ],
+    )
+
+
+def _build_ssd() -> OperatorGraph:
+    """SSD object detector: backbone convs + multi-scale head branches."""
+    graph = OperatorGraph.chain(
+        "ssd",
+        [
+            ("backbone_convs", _op("Conv2D", 70.0, calls=23)),
+            ("backbone_relu", _op("Relu", 0.6, calls=40)),
+            ("backbone_pool", _op("MaxPool", 0.1, calls=4)),
+        ],
+    )
+    graph.add_parallel_branches(
+        [
+            [
+                ("loc_convs", _op("Conv2D", 8.0, calls=6)),
+                ("loc_reshape", _op("Reshape", 0.05, calls=6)),
+            ],
+            [
+                ("conf_convs", _op("Conv2D", 9.0, calls=6)),
+                ("conf_reshape", _op("Reshape", 0.05, calls=6)),
+            ],
+        ]
+    )
+    graph.append_chain(
+        [
+            ("concat", _op("ConcatV2", 0.2, calls=4)),
+            ("softmax", _op("Softmax", 0.1, calls=1)),
+            ("nms", _op("NonMaxSuppression", 0.9, calls=1)),
+        ]
+    )
+    return graph
+
+
+def _build_dssm_2389() -> OperatorGraph:
+    """DSSM twin-tower semantic matcher: two parallel MLP towers."""
+    graph = OperatorGraph.chain(
+        "dssm-2389",
+        [("hash_embed", _op("Embedding", 1.0, calls=2))],
+    )
+    graph.add_parallel_branches(
+        [
+            [
+                ("query_fc", _op("MatMul", 40.0, calls=6)),
+                ("query_tanh", _op("Tanh", 1.0, calls=6)),
+            ],
+            [
+                ("doc_fc", _op("MatMul", 42.0, calls=6)),
+                ("doc_tanh", _op("Tanh", 1.0, calls=6)),
+            ],
+        ]
+    )
+    graph.append_chain(
+        [
+            ("cosine_mul", _op("Mul", 0.5, calls=2)),
+            ("cosine_sum", _op("Sum", 0.2, calls=2)),
+            ("score_softmax", _op("Softmax", 0.05, calls=1)),
+        ]
+    )
+    return graph
+
+
+def _build_deepspeech() -> OperatorGraph:
+    """Speech recognition: conv feature extractor + recurrent stack."""
+    return OperatorGraph.chain(
+        "deepspeech",
+        [
+            ("spec_conv", _op("Conv2D", 15.0, calls=2)),
+            ("conv_relu", _op("Relu", 0.3, calls=2)),
+            ("rnn", _op("LSTMCell", 70.0, calls=100)),
+            ("rnn_matmul", _op("MatMul", 10.0, calls=10)),
+            ("fc", _op("MatMul", 3.0, calls=2)),
+            ("softmax", _op("Softmax", 0.2, calls=1)),
+        ],
+    )
+
+
+def _build_mobilenet() -> OperatorGraph:
+    """MobileNet: depthwise-separable convolutions."""
+    return OperatorGraph.chain(
+        "mobilenet",
+        [
+            ("stem_conv", _op("Conv2D", 8.0, calls=1)),
+            ("depthwise", _op("DepthwiseConv2D", 28.0, calls=13)),
+            ("pointwise", _op("Conv2D", 58.0, calls=13)),
+            ("batchnorm", _op("BatchNorm", 2.0, calls=40)),
+            ("relu6", _op("Relu6", 1.5, calls=40)),
+            ("avgpool", _op("AvgPool", 0.05, calls=1)),
+            ("fc", _op("MatMul", 1.0, calls=1)),
+            ("softmax", _op("Softmax", 0.02, calls=1)),
+        ],
+    )
+
+
+def _build_textcnn_69() -> OperatorGraph:
+    """TextCNN: embedding fans out into parallel filter-width branches."""
+    graph = OperatorGraph.chain(
+        "textcnn-69",
+        [("embed", _op("Embedding", 2.0, calls=1))],
+    )
+    graph.add_parallel_branches(
+        [
+            [
+                ("conv_w3", _op("Conv2D", 28.0, calls=1)),
+                ("pool_w3", _op("MaxPool", 0.3, calls=1)),
+            ],
+            [
+                ("conv_w4", _op("Conv2D", 30.0, calls=1)),
+                ("pool_w4", _op("MaxPool", 0.3, calls=1)),
+            ],
+            [
+                ("conv_w5", _op("Conv2D", 32.0, calls=1)),
+                ("pool_w5", _op("MaxPool", 0.3, calls=1)),
+            ],
+        ]
+    )
+    graph.append_chain(
+        [
+            ("concat", _op("ConcatV2", 0.2, calls=1)),
+            ("fc", _op("MatMul", 6.0, calls=1)),
+            ("softmax", _op("Softmax", 0.05, calls=1)),
+        ]
+    )
+    return graph
+
+
+def _build_mnist() -> OperatorGraph:
+    """Tiny LeNet-style digit classifier."""
+    return OperatorGraph.chain(
+        "mnist",
+        [
+            ("conv1", _op("Conv2D", 30.0, calls=1)),
+            ("pool1", _op("MaxPool", 0.5, calls=1)),
+            ("conv2", _op("Conv2D", 50.0, calls=1)),
+            ("pool2", _op("MaxPool", 0.5, calls=1)),
+            ("relu", _op("Relu", 0.5, calls=2)),
+            ("fc", _op("MatMul", 18.0, calls=2)),
+            ("softmax", _op("Softmax", 0.5, calls=1)),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# zoo assembly (Table 1)
+# ---------------------------------------------------------------------------
+_TABLE1: List[Tuple[str, float, float, str, Callable[[], OperatorGraph]]] = [
+    ("bert-v1", 391.0, 22.2, "Language processing", _build_bert_v1),
+    ("resnet-50", 98.0, 3.89, "Image classification", _build_resnet50),
+    ("vggnet", 69.0, 5.55, "Feature localisation", _build_vggnet),
+    ("lstm-2365", 39.0, 0.10, "Text Q&A system", _build_lstm_2365),
+    ("resnet-20", 36.0, 1.55, "Image classification", _build_resnet20),
+    ("ssd", 29.0, 2.02, "Object detection", _build_ssd),
+    ("dssm-2389", 25.0, 0.13, "Text Q&A system", _build_dssm_2389),
+    ("deepspeech", 17.0, 1.60, "Speech recognition", _build_deepspeech),
+    ("mobilenet", 17.0, 0.05, "Mobile network", _build_mobilenet),
+    ("textcnn-69", 11.0, 0.53, "Text classification", _build_textcnn_69),
+    ("mnist", 0.072, 0.01, "Number recognition", _build_mnist),
+]
+
+
+def _build_zoo() -> Dict[str, ModelSpec]:
+    zoo: Dict[str, ModelSpec] = {}
+    for name, params_m, gflops, description, builder in _TABLE1:
+        graph = _normalise_gflops(builder(), gflops)
+        zoo[name] = ModelSpec(
+            name=name,
+            params_millions=params_m,
+            gflops=gflops,
+            description=description,
+            graph=graph,
+        )
+    return zoo
+
+
+#: name -> ModelSpec for all Table 1 models.
+MODEL_ZOO: Dict[str, ModelSpec] = _build_zoo()
+
+
+def get_model(name: str) -> ModelSpec:
+    """Fetch a model by name, with a helpful error message."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model {name!r}; zoo has: {known}") from None
+
+
+def list_models() -> List[ModelSpec]:
+    """All zoo models, largest GFLOPs first (Table 1 order)."""
+    return sorted(MODEL_ZOO.values(), key=lambda spec: -spec.params_millions)

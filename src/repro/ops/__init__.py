@@ -1,0 +1,37 @@
+"""DNN operator substrate: operator specs, cost model and DAGs.
+
+INFless's combined operator profiling (COP, section 3.3) treats an
+inference model as a DAG of operators drawn from a small shared
+vocabulary, and estimates model latency by combining per-operator
+profiles.  This package provides:
+
+* the operator vocabulary with compute/memory characteristics
+  (:mod:`repro.ops.catalog`);
+* an analytic roofline-style execution-time model standing in for real
+  hardware (:mod:`repro.ops.costmodel`);
+* the operator DAG with the paper's sequence-chain / parallel-branch
+  decomposition (:mod:`repro.ops.graph`).
+"""
+
+from repro.ops.operator import OperatorKind, OperatorSpec, OperatorProfile
+from repro.ops.catalog import OPERATOR_CATALOG, get_operator_kind
+from repro.ops.costmodel import CostModel, HardwareSpec, DEFAULT_HARDWARE
+from repro.ops.graph import OperatorGraph, OperatorNode, GraphStructureError
+from repro.ops.fusion import fuse_elementwise, fusion_report, can_fuse
+
+__all__ = [
+    "OperatorKind",
+    "OperatorSpec",
+    "OperatorProfile",
+    "OPERATOR_CATALOG",
+    "get_operator_kind",
+    "CostModel",
+    "HardwareSpec",
+    "DEFAULT_HARDWARE",
+    "OperatorGraph",
+    "OperatorNode",
+    "GraphStructureError",
+    "fuse_elementwise",
+    "fusion_report",
+    "can_fuse",
+]

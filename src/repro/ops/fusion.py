@@ -1,0 +1,137 @@
+"""Operator fusion: the serving-runtime graph optimisation pass.
+
+Serving stacks (TensorFlow's grappler, TensorRT) fold elementwise
+operators into the preceding dense kernel, removing their per-call
+dispatch overhead.  INFless sits *above* the serving runtime, so this
+pass models what the runtime does to the graphs COP profiles: fusing a
+model reduces its operator-call count (and thus dispatch time) while
+leaving the arithmetic work untouched.
+
+The pass is conservative: an elementwise node fuses into its unique
+dense predecessor only when it is that predecessor's sole consumer
+path (a chain link), which preserves both the DAG semantics and the
+chain/branch timing decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.ops.catalog import get_operator_kind
+from repro.ops.graph import OperatorGraph
+from repro.ops.operator import OperatorSpec
+
+#: dense operator kinds that can absorb a following elementwise op.
+FUSABLE_PRODUCERS: Set[str] = {
+    "MatMul", "FusedMatMul", "BatchMatMul", "Conv2D", "FusedConv2D",
+    "DepthwiseConv2D", "Einsum", "LSTMCell", "GRUCell",
+}
+
+#: elementwise kinds that fuse into a preceding dense kernel.
+FUSABLE_EPILOGUES: Set[str] = {
+    "Relu", "Relu6", "Sigmoid", "Tanh", "Gelu", "Add", "Mul", "Sub",
+    "BiasAdd", "BatchNorm", "LayerNorm",
+}
+
+
+def can_fuse(graph: OperatorGraph, node_id: str) -> bool:
+    """Whether ``node_id`` is an epilogue fusable into its predecessor."""
+    node = graph.node(node_id)
+    if node.spec.kind_name not in FUSABLE_EPILOGUES:
+        return False
+    preds = graph.predecessors(node_id)
+    if len(preds) != 1:
+        return False
+    producer = graph.node(preds[0])
+    if producer.spec.kind_name not in FUSABLE_PRODUCERS:
+        return False
+    # The producer must feed only this node, or rewiring would change
+    # the branch structure.
+    return graph.successors(preds[0]) == [node_id]
+
+
+def fuse_elementwise(graph: OperatorGraph) -> Tuple[OperatorGraph, int]:
+    """Return a fused copy of the graph and the number of fused nodes.
+
+    A fused epilogue's arithmetic work moves into the producer node
+    (keeping total GFLOPs identical); its dispatch overhead disappears
+    with the node. Repeats until no candidate remains, so chains like
+    Conv2D -> BatchNorm -> Relu collapse fully.
+    """
+    current = _copy(graph)
+    fused_total = 0
+    while True:
+        candidate = next(
+            (node.node_id for node in current.nodes
+             if can_fuse(current, node.node_id)),
+            None,
+        )
+        if candidate is None:
+            return current, fused_total
+        current = _fuse_one(current, candidate)
+        fused_total += 1
+
+
+def _copy(graph: OperatorGraph) -> OperatorGraph:
+    rebuilt = OperatorGraph(name=graph.name)
+    for node in graph.nodes:
+        rebuilt.add_node(node.node_id, node.spec)
+    for src, dst in graph.edges():
+        rebuilt.add_edge(src, dst)
+    return rebuilt
+
+
+def _fuse_one(graph: OperatorGraph, node_id: str) -> OperatorGraph:
+    (producer_id,) = graph.predecessors(node_id)
+    victim = graph.node(node_id).spec
+    producer = graph.node(producer_id).spec
+    merged = OperatorSpec(
+        kind_name=producer.kind_name,
+        # Work conserved: the producer absorbs the epilogue's GFLOPs
+        # (normalised to the producer's call count and input size).
+        gflops_per_item=producer.gflops_per_item
+        + victim.total_gflops_per_item / (producer.calls * producer.input_size),
+        input_size=producer.input_size,
+        calls=producer.calls,
+    )
+    rebuilt = OperatorGraph(name=graph.name)
+    for node in graph.nodes:
+        if node.node_id == node_id:
+            continue
+        spec = merged if node.node_id == producer_id else node.spec
+        rebuilt.add_node(node.node_id, spec)
+    for src, dst in graph.edges():
+        if dst == node_id:
+            continue
+        if src == node_id:
+            src = producer_id
+        if src != dst:
+            rebuilt.add_edge(src, dst)
+    rebuilt.validate()
+    return rebuilt
+
+
+def fusion_report(graph: OperatorGraph) -> Dict[str, float]:
+    """Summary of what fusing would save (for design-choice analysis)."""
+    fused, count = fuse_elementwise(graph)
+    before_calls = graph.total_calls()
+    after_calls = fused.total_calls()
+    overhead_before = sum(
+        get_operator_kind(node.spec.kind_name).dispatch_overhead_s
+        * node.spec.calls
+        for node in graph.nodes
+    )
+    overhead_after = sum(
+        get_operator_kind(node.spec.kind_name).dispatch_overhead_s
+        * node.spec.calls
+        for node in fused.nodes
+    )
+    return {
+        "nodes_fused": count,
+        "calls_before": before_calls,
+        "calls_after": after_calls,
+        "dispatch_overhead_before_s": overhead_before,
+        "dispatch_overhead_after_s": overhead_after,
+        "gflops_before": graph.total_gflops_per_item(),
+        "gflops_after": fused.total_gflops_per_item(),
+    }

@@ -1,0 +1,234 @@
+"""Operator DAGs with the paper's chain / branch decomposition.
+
+Section 3.3 estimates a model's latency from its task graph
+``G = (O, E)``: a *sequence chain* contributes the sum of its operator
+times and *parallel branches* contribute the max across branches.  For
+series-parallel DAGs these two rules compose into exactly the longest
+(weighted) path, which is what :meth:`OperatorGraph.critical_path_time`
+computes; :meth:`OperatorGraph.total_time` is the all-operators sum that
+the ground-truth executor blends in (imperfect branch overlap is the
+structural error source COP exhibits on branchy models, Fig. 8).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.ops.operator import OperatorSpec
+
+TimeFn = Callable[[OperatorSpec], float]
+
+
+class GraphStructureError(ValueError):
+    """Raised for malformed operator graphs (cycles, unknown nodes...)."""
+
+
+@dataclass(frozen=True)
+class OperatorNode:
+    """A named node of the operator DAG."""
+
+    node_id: str
+    spec: OperatorSpec
+
+
+@dataclass
+class OperatorGraph:
+    """A DAG of operator nodes.
+
+    Construct with :meth:`add_node` / :meth:`add_edge`, or use
+    :meth:`chain` / :meth:`parallel` to build the two basic structures
+    the paper decomposes graphs into.
+    """
+
+    name: str = "graph"
+    _nodes: Dict[str, OperatorNode] = field(default_factory=dict)
+    _succ: Dict[str, List[str]] = field(default_factory=dict)
+    _pred: Dict[str, List[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, spec: OperatorSpec) -> None:
+        if node_id in self._nodes:
+            raise GraphStructureError(f"duplicate node id {node_id!r}")
+        self._nodes[node_id] = OperatorNode(node_id=node_id, spec=spec)
+        self._succ[node_id] = []
+        self._pred[node_id] = []
+
+    def add_edge(self, src: str, dst: str) -> None:
+        for node_id in (src, dst):
+            if node_id not in self._nodes:
+                raise GraphStructureError(f"unknown node {node_id!r}")
+        if src == dst:
+            raise GraphStructureError(f"self-loop on {src!r}")
+        if dst in self._succ[src]:
+            return
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+
+    @classmethod
+    def chain(cls, name: str, specs: Sequence[Tuple[str, OperatorSpec]]) -> "OperatorGraph":
+        """Build a pure sequence chain from (node_id, spec) pairs."""
+        graph = cls(name=name)
+        previous = None
+        for node_id, spec in specs:
+            graph.add_node(node_id, spec)
+            if previous is not None:
+                graph.add_edge(previous, node_id)
+            previous = node_id
+        return graph
+
+    def append_chain(self, specs: Sequence[Tuple[str, OperatorSpec]]) -> None:
+        """Append a chain after every current sink of the graph."""
+        sinks = self.sinks()
+        previous = None
+        for node_id, spec in specs:
+            self.add_node(node_id, spec)
+            if previous is None:
+                for sink in sinks:
+                    self.add_edge(sink, node_id)
+            else:
+                self.add_edge(previous, node_id)
+            previous = node_id
+
+    def add_parallel_branches(
+        self, branches: Sequence[Sequence[Tuple[str, OperatorSpec]]]
+    ) -> None:
+        """Fan out into several chains after the current sinks.
+
+        The branches remain open (new sinks); call :meth:`append_chain`
+        afterwards to join them.
+        """
+        sinks = self.sinks()
+        for branch in branches:
+            previous = None
+            for node_id, spec in branch:
+                self.add_node(node_id, spec)
+                if previous is None:
+                    for sink in sinks:
+                        self.add_edge(sink, node_id)
+                else:
+                    self.add_edge(previous, node_id)
+                previous = node_id
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[OperatorNode]:
+        return list(self._nodes.values())
+
+    def node(self, node_id: str) -> OperatorNode:
+        return self._nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return [(src, dst) for src, dsts in self._succ.items() for dst in dsts]
+
+    def sources(self) -> List[str]:
+        return [nid for nid in self._nodes if not self._pred[nid]]
+
+    def sinks(self) -> List[str]:
+        return [nid for nid in self._nodes if not self._succ[nid]]
+
+    def successors(self, node_id: str) -> List[str]:
+        return list(self._succ[node_id])
+
+    def predecessors(self, node_id: str) -> List[str]:
+        return list(self._pred[node_id])
+
+    def topological_order(self) -> List[str]:
+        """Kahn's algorithm; raises GraphStructureError on cycles."""
+        in_degree = {nid: len(preds) for nid, preds in self._pred.items()}
+        ready = deque(sorted(nid for nid, deg in in_degree.items() if deg == 0))
+        order: List[str] = []
+        while ready:
+            nid = ready.popleft()
+            order.append(nid)
+            for succ in self._succ[nid]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._nodes):
+            raise GraphStructureError(f"graph {self.name!r} contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Raise GraphStructureError if the graph is not a non-empty DAG."""
+        if not self._nodes:
+            raise GraphStructureError(f"graph {self.name!r} is empty")
+        self.topological_order()
+
+    # ------------------------------------------------------------------
+    # timing combination (section 3.3)
+    # ------------------------------------------------------------------
+    def critical_path_time(self, time_fn: TimeFn) -> float:
+        """Longest-path time: the chain-sum / branch-max combination."""
+        finish: Dict[str, float] = {}
+        for nid in self.topological_order():
+            own = time_fn(self._nodes[nid].spec)
+            preds = self._pred[nid]
+            start = max((finish[p] for p in preds), default=0.0)
+            finish[nid] = start + own
+        return max(finish.values())
+
+    def critical_path(self, time_fn: TimeFn) -> List[str]:
+        """The node ids along one longest path (useful for diagnostics)."""
+        finish: Dict[str, float] = {}
+        best_pred: Dict[str, str] = {}
+        for nid in self.topological_order():
+            own = time_fn(self._nodes[nid].spec)
+            start = 0.0
+            for pred in self._pred[nid]:
+                if finish[pred] > start:
+                    start = finish[pred]
+                    best_pred[nid] = pred
+            finish[nid] = start + own
+        tail = max(finish, key=lambda nid: finish[nid])
+        path = [tail]
+        while path[-1] in best_pred:
+            path.append(best_pred[path[-1]])
+        return list(reversed(path))
+
+    def total_time(self, time_fn: TimeFn) -> float:
+        """Sum of all operator times (no overlap at all)."""
+        return sum(time_fn(node.spec) for node in self._nodes.values())
+
+    # ------------------------------------------------------------------
+    # workload summaries
+    # ------------------------------------------------------------------
+    def total_gflops_per_item(self) -> float:
+        return sum(node.spec.total_gflops_per_item for node in self._nodes.values())
+
+    def total_calls(self) -> int:
+        """Total operator *calls* (a node folds spec.calls invocations)."""
+        return sum(node.spec.calls for node in self._nodes.values())
+
+    def distinct_operators(self) -> Set[str]:
+        return {node.spec.kind_name for node in self._nodes.values()}
+
+    def calls_by_operator(self) -> Dict[str, int]:
+        """Operator name -> number of calls (Fig. 7 bar heights)."""
+        counts: Dict[str, int] = {}
+        for node in self._nodes.values():
+            counts[node.spec.kind_name] = (
+                counts.get(node.spec.kind_name, 0) + node.spec.calls
+            )
+        return counts
+
+    def time_by_operator(self, time_fn: TimeFn) -> Dict[str, float]:
+        """Operator name -> summed execution time (Fig. 7 dominance)."""
+        times: Dict[str, float] = {}
+        for node in self._nodes.values():
+            times[node.spec.kind_name] = (
+                times.get(node.spec.kind_name, 0.0) + time_fn(node.spec)
+            )
+        return times
+
+    def has_parallel_branches(self) -> bool:
+        """True when some node fans out (graph is not a pure chain)."""
+        return any(len(dsts) > 1 for dsts in self._succ.values())

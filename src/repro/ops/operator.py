@@ -1,0 +1,108 @@
+"""Operator specifications and the 5-tuple profile of section 3.3.
+
+The paper defines an operator profile as ``o_i = <p_i, b_i, c_i, g_i,
+t_i>``: input size, batchsize, CPU-related resources, GPU-related
+resources and the measured execution time under that configuration.
+``OperatorProfile`` is that record; ``OperatorSpec`` is an operator
+*instance* inside a model DAG (a kind plus its workload parameters);
+``OperatorKind`` describes the hardware behaviour of one vocabulary
+entry (MatMul, Conv2D, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OperatorKind:
+    """Hardware behaviour of one entry in the shared operator vocabulary.
+
+    Attributes:
+        name: canonical TensorFlow-style name, e.g. ``"MatMul"``.
+        cpu_efficiency: fraction of peak CPU FLOPS this operator
+            sustains (dense kernels high, memory-bound elementwise low).
+        gpu_efficiency: fraction of peak GPU FLOPS sustained at full
+            batch saturation.
+        gpu_saturation_batch: batch size at which the GPU reaches half
+            of its saturated throughput for this operator; models the
+            under-utilisation of small batches that makes batching
+            profitable on accelerators.
+        dispatch_overhead_s: per-*call* framework/kernel-launch overhead
+            in seconds, paid once per batch regardless of batch size.
+            Amortising this is the second source of batching gains.
+        memory_bound: memory-bound operators gain almost nothing from
+            extra compute; their time floors at a bandwidth term.
+    """
+
+    name: str
+    cpu_efficiency: float
+    gpu_efficiency: float
+    gpu_saturation_batch: float = 2.0
+    dispatch_overhead_s: float = 30e-6
+    memory_bound: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_efficiency <= 1.0:
+            raise ValueError(f"{self.name}: cpu_efficiency out of (0, 1]")
+        if not 0.0 < self.gpu_efficiency <= 1.0:
+            raise ValueError(f"{self.name}: gpu_efficiency out of (0, 1]")
+        if self.dispatch_overhead_s < 0:
+            raise ValueError(f"{self.name}: negative dispatch overhead")
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """One operator occurrence inside a model graph.
+
+    Attributes:
+        kind_name: name into the operator catalog.
+        gflops_per_item: compute cost of this call for one input item.
+        input_size: the ``p_i`` of the profile tuple; a relative input
+            scale (1.0 = the model's canonical input, e.g. a 224x224
+            image).  Work scales linearly with it.
+        calls: how many times this operator spec is invoked in the model
+            (e.g. MatMul appears 81 times in LSTM-2365); folded into the
+            node rather than expanded to keep graphs small.
+    """
+
+    kind_name: str
+    gflops_per_item: float
+    input_size: float = 1.0
+    calls: int = 1
+
+    def __post_init__(self) -> None:
+        if self.gflops_per_item < 0:
+            raise ValueError("gflops_per_item must be non-negative")
+        if self.calls < 1:
+            raise ValueError("calls must be >= 1")
+        if self.input_size <= 0:
+            raise ValueError("input_size must be positive")
+
+    @property
+    def total_gflops_per_item(self) -> float:
+        """Per-item work across all folded calls of this node."""
+        return self.gflops_per_item * self.calls * self.input_size
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """The measured 5-tuple ``<p, b, c, g, t>`` stored in the profile DB."""
+
+    operator: str
+    input_size: float
+    batch: int
+    cpu: int
+    gpu: int
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.time_s <= 0:
+            raise ValueError("profiled time must be positive")
+
+    @property
+    def key(self) -> tuple:
+        """Lookup key inside the profile database."""
+        return (self.operator, self.input_size, self.batch, self.cpu, self.gpu)

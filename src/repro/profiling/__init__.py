@@ -1,0 +1,26 @@
+"""Combined Operator Profiling (COP, section 3.3).
+
+Offline, the profiler "measures" each operator kind over a discrete
+grid of (input size, batch, cpu, gpu) configurations -- against the
+analytic cost model with seeded measurement noise, standing in for the
+hardware testbed -- and stores the 5-tuples in a profile database.
+Online, the COP predictor estimates a model's batch execution time by
+combining the profiled operator times over the model DAG (chain = sum,
+branches = max), adding the paper's 10% safety offset.
+"""
+
+from repro.profiling.configspace import ConfigSpace, InstanceConfig
+from repro.profiling.executor import GroundTruthExecutor
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.profiler import OperatorProfiler
+from repro.profiling.predictor import LatencyPredictor, build_default_predictor
+
+__all__ = [
+    "ConfigSpace",
+    "InstanceConfig",
+    "GroundTruthExecutor",
+    "ProfileDatabase",
+    "OperatorProfiler",
+    "LatencyPredictor",
+    "build_default_predictor",
+]

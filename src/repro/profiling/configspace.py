@@ -1,0 +1,94 @@
+"""Discrete batch / resource configuration space.
+
+Section 3.3: "Due to the massive number of combinations of p, b, c and
+g, we merely consider some discrete values in their separate feasible
+ranges" -- batchsizes are powers of two up to the model's maximum, CPU
+cores are small integers and GPU shares are MPS percentages in steps of
+10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.cluster.resources import BETA, ResourceVector
+
+#: default discrete CPU-core choices for an instance.
+DEFAULT_CPU_CHOICES: Sequence[int] = (1, 2, 4, 8)
+#: default GPU SM-percent choices (0 = CPU-only instance).
+DEFAULT_GPU_CHOICES: Sequence[int] = (0, 10, 20, 30, 40, 50, 80, 100)
+#: default input-size grid (GFLOPs per operator call) the profiler measures.
+DEFAULT_INPUT_SIZES: Sequence[float] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0,
+)
+
+
+@dataclass(frozen=True)
+class InstanceConfig:
+    """One candidate instance configuration ``<b, c, g>``."""
+
+    batch: int
+    cpu: int
+    gpu: int
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.cpu < 1:
+            raise ValueError("an instance needs at least one CPU core")
+        if not 0 <= self.gpu <= 100:
+            raise ValueError("gpu share must be within [0, 100]")
+
+    def resources(self, memory_mb: int = 0) -> ResourceVector:
+        return ResourceVector(cpu=self.cpu, gpu=self.gpu, memory_mb=memory_mb)
+
+    def weighted_cost(self, beta: float = BETA) -> float:
+        """The Eq. 10 denominator term ``beta * c_i + g_i``."""
+        return beta * self.cpu + self.gpu
+
+    def __str__(self) -> str:  # matches the paper's (b, c, g) notation
+        return f"(b={self.batch}, c={self.cpu}, g={self.gpu})"
+
+
+def batch_choices(max_batch: int) -> List[int]:
+    """Powers of two ``{2^0, ..., 2^max}`` allowed for a model."""
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    choices = []
+    batch = 1
+    while batch <= max_batch:
+        choices.append(batch)
+        batch *= 2
+    return choices
+
+
+@dataclass(frozen=True)
+class ConfigSpace:
+    """The discrete search space explored by profiling and scheduling."""
+
+    cpu_choices: Sequence[int] = DEFAULT_CPU_CHOICES
+    gpu_choices: Sequence[int] = DEFAULT_GPU_CHOICES
+    max_batch: int = 32
+
+    def batches(self) -> List[int]:
+        return batch_choices(self.max_batch)
+
+    def batches_descending(self) -> List[int]:
+        """Batch set **B** of Algorithm 1, sorted in descending order."""
+        return sorted(self.batches(), reverse=True)
+
+    def resource_pairs(self) -> List[tuple]:
+        """All (cpu, gpu) pairs in the space."""
+        return [(cpu, gpu) for cpu in self.cpu_choices for gpu in self.gpu_choices]
+
+    def configs_for_batch(self, batch: int) -> Iterator[InstanceConfig]:
+        for cpu, gpu in self.resource_pairs():
+            yield InstanceConfig(batch=batch, cpu=cpu, gpu=gpu)
+
+    def all_configs(self) -> Iterator[InstanceConfig]:
+        for batch in self.batches():
+            yield from self.configs_for_batch(batch)
+
+    def size(self) -> int:
+        return len(self.batches()) * len(self.cpu_choices) * len(self.gpu_choices)

@@ -1,0 +1,102 @@
+"""The ground-truth executor: what "really" happens on the hardware.
+
+The executor computes the actual batch execution time of a model under
+a configuration, which the simulation runtime uses to advance time and
+which COP tries to predict.  It differs from the predictor's view in
+three realistic ways:
+
+* **imperfect branch overlap** -- parallel branches do not fully
+  overlap on one instance; a fraction of off-critical-path work spills
+  onto the critical path (the ``branch_overlap_penalty`` of the
+  hardware spec);
+* **serving-framework overhead** -- RPC and (de)serialisation time the
+  operator-only predictor does not see;
+* **hardware quirks** -- a deterministic per-(model, configuration)
+  factor modelling cache working-set, NUMA and co-location effects that
+  composing per-operator profiles cannot capture;
+* **measurement noise** -- each invocation draws log-normal noise.
+
+Together these reproduce the ~8-10% COP prediction errors of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.models.zoo import ModelSpec
+from repro.ops.costmodel import CostModel, DEFAULT_HARDWARE, HardwareSpec
+from repro.ops.operator import OperatorSpec
+
+
+class GroundTruthExecutor:
+    """Computes actual execution times of model batches.
+
+    Args:
+        hardware: hardware constants shared with the cost model.
+        seed: seed for the per-invocation measurement noise stream.
+    """
+
+    def __init__(
+        self,
+        hardware: HardwareSpec = DEFAULT_HARDWARE,
+        seed: int = 2022,
+    ) -> None:
+        self.hardware = hardware
+        self.cost_model = CostModel(hardware)
+        self._rng = np.random.default_rng(seed)
+
+    def _quirk_factor(
+        self, model_name: str, batch: int, cpu: float, gpu: float
+    ) -> float:
+        """Deterministic configuration-specific slowdown/speedup factor."""
+        sigma = self.hardware.quirk_sigma
+        if sigma <= 0:
+            return 1.0
+        token = f"{model_name}|{batch}|{round(float(cpu), 3)}|{round(float(gpu), 3)}"
+        quirk_seed = zlib.crc32(token.encode())
+        draw = float(np.random.default_rng(quirk_seed).standard_normal())
+        clip = self.hardware.quirk_clip
+        return 1.0 + float(np.clip(draw * sigma, -clip, clip))
+
+    def mean_execution_time(
+        self,
+        model: ModelSpec,
+        batch: int,
+        cpu: Union[int, float],
+        gpu: Union[int, float],
+    ) -> float:
+        """Noise-free actual execution time of one batch, in seconds."""
+
+        def op_time(spec: OperatorSpec) -> float:
+            return self.cost_model.operator_time(spec, batch, cpu, gpu)
+
+        critical = model.graph.critical_path_time(op_time)
+        total = model.graph.total_time(op_time)
+        spill = self.hardware.branch_overlap_penalty * (total - critical)
+        quirk = self._quirk_factor(model.name, batch, cpu, gpu)
+        return (critical + spill) * quirk + self.cost_model.serving_overhead(batch)
+
+    def execution_time(
+        self,
+        model: ModelSpec,
+        batch: int,
+        cpu: Union[int, float],
+        gpu: Union[int, float],
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """One noisy invocation duration (what a measurement would see)."""
+        mean = self.mean_execution_time(model, batch, cpu, gpu)
+        return self.cost_model.sample_time(mean, rng or self._rng)
+
+    def throughput_rps(
+        self,
+        model: ModelSpec,
+        batch: int,
+        cpu: Union[int, float],
+        gpu: Union[int, float],
+    ) -> float:
+        """Steady-state items/second when batches execute back-to-back."""
+        return batch / self.mean_execution_time(model, batch, cpu, gpu)

@@ -1,0 +1,119 @@
+"""The COP latency predictor ``t_exec = f(b, c, g)``.
+
+Combines profiled operator times over the model DAG: sequence chains
+sum, parallel branches take the max (section 3.3), which for the zoo's
+series-parallel graphs is the weighted longest path.  A configurable
+safety offset (the paper uses +10%) inflates predictions to absorb
+profile noise and un-modelled overheads.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Optional, Tuple, Union
+
+from repro.models.zoo import ModelSpec, get_model
+from repro.ops.costmodel import CostModel, DEFAULT_HARDWARE, HardwareSpec
+from repro.ops.operator import OperatorSpec
+from repro.profiling.configspace import ConfigSpace
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.profiler import OperatorProfiler
+
+#: the paper's choice: "we choose to increase the prediction offset by
+#: 10% to reduce the risk of SLO violations from prediction errors".
+DEFAULT_SAFETY_OFFSET = 1.10
+
+
+class LatencyPredictor:
+    """Predicts batch execution time from combined operator profiles."""
+
+    def __init__(
+        self,
+        database: ProfileDatabase,
+        safety_offset: float = DEFAULT_SAFETY_OFFSET,
+        hardware: HardwareSpec = DEFAULT_HARDWARE,
+    ) -> None:
+        if safety_offset < 1.0:
+            raise ValueError("safety offset must be >= 1.0")
+        self.database = database
+        self.safety_offset = safety_offset
+        # The platform measures its own serving-framework overhead once
+        # (RPC + serialisation); operator profiles do not contain it.
+        self._serving = CostModel(hardware)
+        self._cache: Dict[Tuple[str, int, int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def _operator_time(
+        self, spec: OperatorSpec, batch: int, cpu: int, gpu: int
+    ) -> float:
+        per_call_work = spec.gflops_per_item * spec.input_size
+        per_call = self.database.lookup(
+            spec.kind_name, per_call_work, batch, cpu, gpu
+        )
+        return per_call * spec.calls
+
+    def predict_raw(
+        self, model: Union[ModelSpec, str], batch: int, cpu: int, gpu: int
+    ) -> float:
+        """Combined-operator estimate without the safety offset."""
+        spec = get_model(model) if isinstance(model, str) else model
+
+        def op_time(op: OperatorSpec) -> float:
+            return self._operator_time(op, batch, cpu, gpu)
+
+        combined = spec.graph.critical_path_time(op_time)
+        return combined + self._serving.serving_overhead(batch)
+
+    def predict(
+        self, model: Union[ModelSpec, str], batch: int, cpu: int, gpu: int
+    ) -> float:
+        """Predicted ``t_exec`` in seconds, including the safety offset.
+
+        Results are memoised: the scheduler queries the same
+        configurations repeatedly while exploring (Algorithm 1).
+        """
+        spec = get_model(model) if isinstance(model, str) else model
+        key = (spec.name, batch, cpu, gpu)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.safety_offset * self.predict_raw(spec, batch, cpu, gpu)
+            self._cache[key] = cached
+        return cached
+
+    def prediction_error(
+        self,
+        model: Union[ModelSpec, str],
+        batch: int,
+        cpu: int,
+        gpu: int,
+        actual_time: float,
+    ) -> float:
+        """Relative error ``|P_hat - P| / P`` of the *raw* prediction.
+
+        Fig. 8 evaluates the prediction model itself, so the safety
+        offset is excluded here.
+        """
+        if actual_time <= 0:
+            raise ValueError("actual_time must be positive")
+        predicted = self.predict_raw(model, batch, cpu, gpu)
+        return abs(predicted - actual_time) / actual_time
+
+
+@functools.lru_cache(maxsize=4)
+def build_default_predictor(
+    hardware: HardwareSpec = DEFAULT_HARDWARE,
+    config_space: Optional[ConfigSpace] = None,
+    safety_offset: float = DEFAULT_SAFETY_OFFSET,
+    seed: int = 7,
+) -> LatencyPredictor:
+    """Profile the full operator catalog once and build a predictor.
+
+    Cached because profiling the whole catalog over the configuration
+    grid is the expensive offline step; tests and benchmarks share it.
+    """
+    profiler = OperatorProfiler(
+        hardware=hardware, config_space=config_space or ConfigSpace(), seed=seed
+    )
+    return LatencyPredictor(profiler.build_database(), safety_offset=safety_offset)

@@ -1,0 +1,98 @@
+"""Offline operator profiler.
+
+Measures every operator kind across the discrete configuration grid --
+against the noisy ground-truth cost model, which stands in for running
+the operator on the testbed -- and fills the profile database.  Per the
+paper this is done once, ahead of function deployment; models deployed
+later reuse the shared operator profiles (Observation 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ops.catalog import OPERATOR_CATALOG
+from repro.ops.costmodel import CostModel, DEFAULT_HARDWARE, HardwareSpec
+from repro.ops.operator import OperatorProfile, OperatorSpec
+from repro.profiling.configspace import (
+    ConfigSpace,
+    DEFAULT_INPUT_SIZES,
+)
+from repro.profiling.database import ProfileDatabase
+
+
+class OperatorProfiler:
+    """Populates a :class:`ProfileDatabase` by measuring operator kinds.
+
+    Args:
+        hardware: the simulated hardware to measure against.
+        config_space: the (b, c, g) grid to cover.
+        input_sizes: GFLOPs-per-call grid; model operator work is
+            interpolated between these points at prediction time.
+        repetitions: measurements averaged per grid point (more
+            repetitions shrink noise in the stored profile, like longer
+            profiling runs would on real hardware).
+        seed: measurement-noise seed, distinct from the runtime
+            executor's so profiles and executions are independent draws.
+    """
+
+    def __init__(
+        self,
+        hardware: HardwareSpec = DEFAULT_HARDWARE,
+        config_space: Optional[ConfigSpace] = None,
+        input_sizes: Sequence[float] = DEFAULT_INPUT_SIZES,
+        repetitions: int = 3,
+        seed: int = 7,
+    ) -> None:
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        self.hardware = hardware
+        self.cost_model = CostModel(hardware)
+        self.config_space = config_space or ConfigSpace()
+        self.input_sizes = tuple(input_sizes)
+        self.repetitions = repetitions
+        self._rng = np.random.default_rng(seed)
+
+    def measure(
+        self, operator: str, input_size: float, batch: int, cpu: int, gpu: int
+    ) -> OperatorProfile:
+        """Measure one grid point (average of ``repetitions`` runs)."""
+        spec = OperatorSpec(
+            kind_name=operator, gflops_per_item=input_size, calls=1
+        )
+        mean = self.cost_model.operator_time(spec, batch, cpu, gpu)
+        samples = [
+            self.cost_model.sample_time(mean, self._rng)
+            for _ in range(self.repetitions)
+        ]
+        return OperatorProfile(
+            operator=operator,
+            input_size=input_size,
+            batch=batch,
+            cpu=cpu,
+            gpu=gpu,
+            time_s=float(np.mean(samples)),
+        )
+
+    def profile_operator(self, operator: str) -> List[OperatorProfile]:
+        """All grid points for one operator kind."""
+        profiles = []
+        for config in self.config_space.all_configs():
+            for input_size in self.input_sizes:
+                profiles.append(
+                    self.measure(
+                        operator, input_size, config.batch, config.cpu, config.gpu
+                    )
+                )
+        return profiles
+
+    def build_database(
+        self, operators: Optional[Iterable[str]] = None
+    ) -> ProfileDatabase:
+        """Profile the given operators (default: the whole catalog)."""
+        database = ProfileDatabase()
+        for operator in operators or sorted(OPERATOR_CATALOG):
+            database.insert_many(self.profile_operator(operator))
+        return database

@@ -1,0 +1,59 @@
+"""A minimal deterministic discrete-event loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.simulation.events import Event, EventKind
+
+Handler = Callable[[Event], None]
+
+
+class EventLoop:
+    """Event heap with per-kind handlers.
+
+    Determinism: ties in time break by insertion sequence, so identical
+    seeds replay identically.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._handlers: Dict[EventKind, Handler] = {}
+        self.now = 0.0
+        self.processed = 0
+
+    def on(self, kind: EventKind, handler: Handler) -> None:
+        """Register the handler for one event kind."""
+        self._handlers[kind] = handler
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Queue an event; times before `now` clamp to `now` (causality)."""
+        event = Event(
+            time=max(time, self.now), seq=next(self._seq), kind=kind,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Drain the heap (optionally stopping at a horizon)."""
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            if self.processed >= max_events:
+                raise RuntimeError(
+                    f"event budget of {max_events} exhausted at t={self.now:.3f}s"
+                )
+            event = heapq.heappop(self._heap)
+            self.now = event.time
+            handler = self._handlers.get(event.kind)
+            if handler is None:
+                raise RuntimeError(f"no handler for event kind {event.kind}")
+            handler(event)
+            self.processed += 1

@@ -1,0 +1,32 @@
+"""Event types of the serving simulation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class EventKind(enum.Enum):
+    """What an event on the heap means."""
+
+    #: a request arrives at the platform gateway.
+    ARRIVAL = "arrival"
+    #: a batch queue's waiting deadline fires (flush partial batch).
+    BATCH_TIMEOUT = "batch_timeout"
+    #: an executing batch finishes.
+    BATCH_COMPLETE = "batch_complete"
+    #: the periodic auto-scaling control step.
+    CONTROL_TICK = "control_tick"
+    #: an injected server failure (fault-tolerance experiments).
+    SERVER_FAILURE = "server_failure"
+
+
+@dataclass(order=True)
+class Event:
+    """A timestamped event; ordering is (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)

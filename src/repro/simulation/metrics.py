@@ -1,0 +1,262 @@
+"""Metrics collection and the simulation report.
+
+Captures per-request latency decompositions (``l = t_cold + t_batch +
+t_exec``), batch/configuration usage, resource-time integrals and
+cold-start counters -- everything sections 5.2 and 5.3 report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class RequestRecord:
+    """One completed request's timeline."""
+
+    function: str
+    arrival: float
+    completion: float
+    cold_wait_s: float
+    queue_wait_s: float
+    exec_s: float
+    batch_size: int
+    config: Tuple[int, int, int]  # (b, c, g)
+    slo_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion - self.arrival
+
+    @property
+    def violated_slo(self) -> bool:
+        return self.latency_s > self.slo_s + 1e-9
+
+
+@dataclass
+class SimulationReport:
+    """Aggregated outcome of one serving simulation."""
+
+    duration_s: float
+    arrived: int
+    completed: int
+    dropped: int
+    slo_violations: int
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    mean_cold_wait_s: float
+    mean_queue_wait_s: float
+    mean_exec_s: float
+    #: requests served per batchsize (Fig. 13a/b).
+    batch_histogram: Dict[int, int]
+    #: requests served per (b, c, g) configuration (Fig. 13c).
+    config_histogram: Dict[Tuple[int, int, int], int]
+    #: integral of weighted (beta*cpu + gpu) resources over time.
+    resource_time_weighted: float
+    mean_weighted_usage: float
+    peak_weighted_usage: float
+    mean_fragment_ratio: float
+    cold_starts: int
+    launches: int
+    warm_reuses: int
+    #: per-function violation rates.
+    per_function_violation: Dict[str, float]
+    #: completed requests / weighted resource-seconds (Fig. 12 metric).
+    normalized_throughput: float
+    achieved_rps: float
+    scheduling_overhead_s: float
+    reserved_idle_resource_s: float
+    #: CPU/GPU core-seconds for the Table 4 cost model.
+    cpu_core_seconds: float
+    gpu_seconds: float
+
+    @property
+    def violation_rate(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.slo_violations / self.completed
+
+    @property
+    def drop_rate(self) -> float:
+        if self.arrived == 0:
+            return 0.0
+        return self.dropped / self.arrived
+
+    @property
+    def goodput_rps(self) -> float:
+        """SLO-compliant completions per second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return (self.completed - self.slo_violations) / self.duration_s
+
+    def to_dict(self) -> Dict:
+        """A JSON-serialisable view (tuple keys stringified)."""
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload["config_histogram"] = {
+            f"b{b}c{c}g{g}": count
+            for (b, c, g), count in self.config_histogram.items()
+        }
+        payload["batch_histogram"] = {
+            str(batch): count for batch, count in self.batch_histogram.items()
+        }
+        payload["violation_rate"] = self.violation_rate
+        payload["drop_rate"] = self.drop_rate
+        payload["goodput_rps"] = self.goodput_rps
+        return payload
+
+
+class MetricsCollector:
+    """Accumulates simulation observations."""
+
+    def __init__(self) -> None:
+        self.records: List[RequestRecord] = []
+        self._arrival_times: List[float] = []
+        self._drop_times: List[float] = []
+        self.scheduling_overhead_s = 0.0
+        self._usage_samples: List[Tuple[float, float]] = []  # (time, weighted)
+        self._cpu_samples: List[Tuple[float, float]] = []
+        self._gpu_samples: List[Tuple[float, float]] = []
+        self._fragment_samples: List[float] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_arrival(self, now: float = 0.0) -> None:
+        self._arrival_times.append(now)
+
+    def record_drop(self, now: float = 0.0) -> None:
+        self._drop_times.append(now)
+
+    @property
+    def arrived(self) -> int:
+        return len(self._arrival_times)
+
+    @property
+    def dropped(self) -> int:
+        return len(self._drop_times)
+
+    def record_completion(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    def record_usage(
+        self,
+        now: float,
+        weighted: float,
+        cpu: float,
+        gpu: float,
+        fragment_ratio: float,
+    ) -> None:
+        self._usage_samples.append((now, weighted))
+        self._cpu_samples.append((now, cpu))
+        self._gpu_samples.append((now, gpu))
+        self._fragment_samples.append(fragment_ratio)
+
+    def record_scheduling_overhead(self, seconds: float) -> None:
+        self.scheduling_overhead_s += seconds
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _integrate(samples: List[Tuple[float, float]]) -> float:
+        if len(samples) < 2:
+            return 0.0
+        times = np.array([s[0] for s in samples])
+        values = np.array([s[1] for s in samples])
+        # Piecewise-constant (sample-and-hold) integral: usage stays at
+        # the sampled level until the next control tick.
+        return float(np.sum(values[:-1] * np.diff(times)))
+
+    def usage_timeline(self) -> List[Tuple[float, float]]:
+        """(time, weighted usage) samples for provisioning plots."""
+        return list(self._usage_samples)
+
+    def finalize(
+        self,
+        duration_s: float,
+        cold_starts: int = 0,
+        launches: int = 0,
+        warm_reuses: int = 0,
+        reserved_idle_resource_s: float = 0.0,
+        warmup_s: float = 0.0,
+    ) -> SimulationReport:
+        """Aggregate into a report.
+
+        Args:
+            duration_s: workload horizon (seconds).
+            warmup_s: requests arriving before this time are excluded
+                from the statistics (discards the initial cold-start
+                transient present in every freshly started platform).
+        """
+        records = [r for r in self.records if r.arrival >= warmup_s]
+        arrived = sum(1 for t in self._arrival_times if t >= warmup_s)
+        dropped = sum(1 for t in self._drop_times if t >= warmup_s)
+        usage_samples = [s for s in self._usage_samples if s[0] >= warmup_s]
+        cpu_samples = [s for s in self._cpu_samples if s[0] >= warmup_s]
+        gpu_samples = [s for s in self._gpu_samples if s[0] >= warmup_s]
+        duration_s = max(1e-9, duration_s - warmup_s)
+        latencies = np.array([r.latency_s for r in records])
+        completed = len(records)
+        violations = sum(1 for r in records if r.violated_slo)
+        batch_hist = Counter(r.batch_size for r in records)
+        config_hist = Counter(r.config for r in records)
+        per_fn: Dict[str, float] = {}
+        functions = {r.function for r in records}
+        for fn in functions:
+            fn_records = [r for r in records if r.function == fn]
+            per_fn[fn] = sum(r.violated_slo for r in fn_records) / len(fn_records)
+        resource_time = self._integrate(usage_samples)
+        weighted_values = [v for _t, v in usage_samples]
+        mean_usage = float(np.mean(weighted_values)) if weighted_values else 0.0
+        peak_usage = float(np.max(weighted_values)) if weighted_values else 0.0
+        normalized = completed / resource_time if resource_time > 0 else 0.0
+        return SimulationReport(
+            duration_s=duration_s,
+            arrived=arrived,
+            completed=completed,
+            dropped=dropped,
+            slo_violations=violations,
+            latency_mean_s=float(latencies.mean()) if completed else 0.0,
+            latency_p50_s=float(np.percentile(latencies, 50)) if completed else 0.0,
+            latency_p95_s=float(np.percentile(latencies, 95)) if completed else 0.0,
+            latency_p99_s=float(np.percentile(latencies, 99)) if completed else 0.0,
+            mean_cold_wait_s=(
+                float(np.mean([r.cold_wait_s for r in records]))
+                if completed else 0.0
+            ),
+            mean_queue_wait_s=(
+                float(np.mean([r.queue_wait_s for r in records]))
+                if completed else 0.0
+            ),
+            mean_exec_s=(
+                float(np.mean([r.exec_s for r in records]))
+                if completed else 0.0
+            ),
+            batch_histogram=dict(batch_hist),
+            config_histogram=dict(config_hist),
+            resource_time_weighted=resource_time,
+            mean_weighted_usage=mean_usage,
+            peak_weighted_usage=peak_usage,
+            mean_fragment_ratio=(
+                float(np.mean(self._fragment_samples))
+                if self._fragment_samples else 0.0
+            ),
+            cold_starts=cold_starts,
+            launches=launches,
+            warm_reuses=warm_reuses,
+            per_function_violation=per_fn,
+            normalized_throughput=normalized,
+            achieved_rps=completed / duration_s if duration_s > 0 else 0.0,
+            scheduling_overhead_s=self.scheduling_overhead_s,
+            reserved_idle_resource_s=reserved_idle_resource_s,
+            cpu_core_seconds=self._integrate(cpu_samples),
+            gpu_seconds=self._integrate(gpu_samples) / 100.0,
+        )

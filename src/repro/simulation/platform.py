@@ -1,0 +1,44 @@
+"""The platform protocol the serving runtime drives.
+
+INFless (:class:`~repro.core.engine.INFlessEngine`) and every baseline
+implement this interface, so a single runtime replays the same traces
+against all of them -- the apples-to-apples comparison the evaluation
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, runtime_checkable
+
+from repro.cluster.cluster import Cluster
+from repro.core.function import FunctionSpec
+from repro.core.instance import Instance
+
+
+@runtime_checkable
+class ServingPlatform(Protocol):
+    """What the runtime expects from a serving platform."""
+
+    cluster: Cluster
+
+    def deploy(self, function: FunctionSpec) -> None:
+        """Register a function before the simulation starts."""
+
+    def function(self, name: str) -> FunctionSpec:
+        """Look up a deployed function."""
+
+    def control(self, name: str, rps: float, now: float) -> object:
+        """One auto-scaling step; returns a platform-specific action.
+
+        If the returned object exposes ``scheduling_overhead_s``, the
+        runtime accumulates it for the Fig. 17(a) analysis.
+        """
+
+    def record_invocation(self, name: str, now: float) -> None:
+        """Feed an invocation into cold-start bookkeeping."""
+
+    def route(self, name: str, now: float) -> Optional[Instance]:
+        """Pick the instance that should serve one request."""
+
+    def instances(self, name: str) -> List[Instance]:
+        """The function's currently active instances."""

@@ -1,0 +1,412 @@
+"""The serving runtime: requests, batch queues and instance execution.
+
+Drives a :class:`~repro.simulation.platform.ServingPlatform` with
+pre-sampled arrival streams.  The lifecycle of one request:
+
+1. **arrival** -- recorded, fed to the cold-start policy, routed to an
+   instance (or parked in a per-function pending queue when no
+   instance exists yet);
+2. **batching** -- waits in the instance's batch queue until the batch
+   fills or the waiting deadline (``t_slo - t_exec``) fires; per
+   Fig. 6(a), a request arriving while the instance is busy and the
+   waiting batch is already full is dropped;
+3. **execution** -- the ground-truth executor supplies the (noisy)
+   batch duration; completion records the latency decomposition
+   ``l = t_cold + t_batch + t_exec``.
+
+The control loop ticks every ``control_interval_s``: it estimates each
+function's RPS (measured EWMA by default, or an oracle reading of the
+trace), runs the platform's auto-scaler, re-dispatches parked requests
+and samples resource usage.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from repro.core.instance import Instance, InstanceState
+from repro.profiling.executor import GroundTruthExecutor
+from repro.simulation.engine import EventLoop
+from repro.simulation.events import Event, EventKind
+from repro.simulation.metrics import MetricsCollector, RequestRecord, SimulationReport
+from repro.simulation.platform import ServingPlatform
+from repro.workloads.arrivals import sample_arrivals
+from repro.workloads.trace import Trace
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class Request:
+    """One inference request in flight.
+
+    For chained applications (the paper's section 7 future work),
+    ``arrival`` is when the request reached its *current stage* (it
+    drives the stage's batch-queue deadline) while ``origin_arrival``
+    is when the user issued it (it drives the end-to-end SLO).
+    """
+
+    function: str
+    arrival: float
+    slo_s: float
+    origin_arrival: Optional[float] = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def origin(self) -> float:
+        return self.arrival if self.origin_arrival is None else self.origin_arrival
+
+
+@dataclass
+class _BatchInFlight:
+    instance: Instance
+    requests: list
+    start: float
+    exec_s: float
+
+
+class ServingSimulation:
+    """Replays traces against a platform and reports the outcome.
+
+    Args:
+        platform: the system under test.
+        executor: ground-truth execution times (the 'hardware').
+        workload: function name -> arrival-rate trace.
+        control_interval_s: auto-scaler tick period.
+        rate_mode: ``"measured"`` estimates RPS from observed arrivals
+            with EWMA smoothing; ``"oracle"`` reads the trace directly
+            (models an external rate monitor with no estimation lag).
+        ewma: smoothing weight on the newest measurement.
+        pending_cap: max requests parked while a function has no
+            instance; beyond it arrivals are dropped.
+        cold_queue_batches: how many batches may queue at an instance
+            that is still cold-starting before arrivals drop.
+        chains: optional function-chain topology (the paper's section 7
+            future work): ``{"stage-a": "stage-b"}`` forwards every
+            completed stage-a request into stage-b's batch queues; the
+            SLO applies end to end and only the final stage records a
+            completion. Workload traces drive the chain's entry
+            functions only.
+        seed: randomness for arrival sampling, routing noise and
+            execution-time noise.
+    """
+
+    def __init__(
+        self,
+        platform: ServingPlatform,
+        executor: GroundTruthExecutor,
+        workload: Dict[str, Trace],
+        control_interval_s: float = 1.0,
+        rate_mode: str = "measured",
+        ewma: float = 0.6,
+        pending_cap: int = 100_000,
+        cold_queue_batches: int = 64,
+        warmup_s: float = 0.0,
+        chains: Optional[Dict[str, str]] = None,
+        end_to_end_slo_s: Optional[float] = None,
+        seed: int = 42,
+    ) -> None:
+        if rate_mode not in ("measured", "oracle"):
+            raise ValueError("rate_mode must be 'measured' or 'oracle'")
+        if not 0.0 < ewma <= 1.0:
+            raise ValueError("ewma must lie in (0, 1]")
+        self.platform = platform
+        self.executor = executor
+        self.workload = dict(workload)
+        self.control_interval_s = control_interval_s
+        self.rate_mode = rate_mode
+        self.ewma = ewma
+        self.pending_cap = pending_cap
+        self.cold_queue_batches = cold_queue_batches
+        self.warmup_s = warmup_s
+        self.chains = dict(chains or {})
+        for src, dst in self.chains.items():
+            if src == dst:
+                raise ValueError(f"chain stage {src!r} forwards to itself")
+        #: chained requests are judged against the end-to-end budget,
+        #: while each stage's (smaller) function SLO drives its batch
+        #: deadline; defaults to the entry function's SLO when unset.
+        self.end_to_end_slo_s = end_to_end_slo_s
+        # Functions the control loop must manage: trace-driven entry
+        # stages plus every chained downstream stage.
+        self._managed = list(
+            dict.fromkeys(list(workload) + list(self.chains.values()))
+        )
+        self._rng = np.random.default_rng(seed)
+        self.loop = EventLoop()
+        self.metrics = MetricsCollector()
+        self._pending: Dict[str, Deque[Request]] = {
+            name: deque() for name in self._managed
+        }
+        self._arrivals_since_tick: Dict[str, int] = {
+            name: 0 for name in self._managed
+        }
+        self._rate_estimate: Dict[str, float] = {
+            name: 0.0 for name in self._managed
+        }
+        self._wake_scheduled: Dict[int, float] = {}
+        self._horizon = max(trace.duration_s for trace in workload.values())
+        self.loop.on(EventKind.ARRIVAL, self._on_arrival)
+        self.loop.on(EventKind.BATCH_TIMEOUT, self._on_wake)
+        self.loop.on(EventKind.BATCH_COMPLETE, self._on_batch_complete)
+        self.loop.on(EventKind.CONTROL_TICK, self._on_control_tick)
+        self.loop.on(EventKind.SERVER_FAILURE, self._on_server_failure)
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def _schedule_arrivals(self) -> None:
+        # OTP designs route requests through an external buffer layer
+        # before they reach the platform; the request's user-visible
+        # arrival predates its dispatch by that ingress delay.
+        delay = getattr(self.platform, "ingress_delay_s", 0.0)
+        for name, trace in self.workload.items():
+            slo = self.platform.function(name).slo_s
+            if self.chains and self.end_to_end_slo_s is not None:
+                slo = self.end_to_end_slo_s
+            times = sample_arrivals(trace, self._rng)
+            for t in times:
+                request = Request(function=name, arrival=float(t), slo_s=slo)
+                self.loop.schedule(float(t) + delay, EventKind.ARRIVAL, request)
+
+    # ------------------------------------------------------------------
+    # arrival path
+    # ------------------------------------------------------------------
+    def _on_arrival(self, event: Event) -> None:
+        request: Request = event.payload
+        self.metrics.record_arrival(self.loop.now)
+        self._arrivals_since_tick[request.function] += 1
+        self.platform.record_invocation(request.function, self.loop.now)
+        self._dispatch(request)
+
+    def _dispatch(self, request: Request) -> None:
+        instance = self.platform.route(request.function, self.loop.now)
+        if instance is None:
+            pending = self._pending[request.function]
+            if len(pending) >= self.pending_cap:
+                self.metrics.record_drop(self.loop.now)
+                return
+            pending.append(request)
+            return
+        self._enqueue(instance, request)
+
+    def _enqueue(self, instance: Instance, request: Request) -> None:
+        now = self.loop.now
+        ready = now >= instance.ready_at
+        queue = instance.queue
+        batch = instance.config.batch
+        if ready:
+            # Fig. 6(a): while the instance executes, only a bounded
+            # number of waiting batches may accumulate (the assembling
+            # batch plus one full pending batch by default); overflow
+            # requests are dropped.
+            depth = getattr(self.platform, "waiting_batches", 2)
+            if instance.busy and len(queue) >= batch * depth:
+                self.metrics.record_drop(self.loop.now)
+                return
+        else:
+            if len(queue) >= batch * self.cold_queue_batches:
+                self.metrics.record_drop(self.loop.now)
+                return
+        queue.enqueue(request, now)
+        self._maybe_start(instance)
+
+    # ------------------------------------------------------------------
+    # batch lifecycle
+    # ------------------------------------------------------------------
+    def _maybe_start(self, instance: Instance) -> None:
+        if instance.busy or instance.queue.is_empty:
+            return
+        now = self.loop.now
+        if now < instance.ready_at:
+            self._schedule_wake(instance, instance.ready_at)
+            return
+        if instance.queue.should_flush(now):
+            self._start_batch(instance)
+        else:
+            deadline = instance.queue.deadline()
+            if deadline is not None:
+                self._schedule_wake(instance, deadline)
+
+    def _schedule_wake(self, instance: Instance, time: float) -> None:
+        already = self._wake_scheduled.get(instance.instance_id)
+        if already is not None and abs(already - time) < 1e-9:
+            return
+        self._wake_scheduled[instance.instance_id] = time
+        self.loop.schedule(time, EventKind.BATCH_TIMEOUT, instance)
+
+    def _on_wake(self, event: Event) -> None:
+        instance: Instance = event.payload
+        self._wake_scheduled.pop(instance.instance_id, None)
+        self._maybe_start(instance)
+
+    def _start_batch(self, instance: Instance) -> None:
+        now = self.loop.now
+        requests = instance.queue.drain()
+        instance.busy = True
+        instance.idle_since = None
+        model = instance.function.model
+        exec_s = self.executor.execution_time(
+            model,
+            len(requests),
+            instance.config.cpu,
+            instance.config.gpu,
+            rng=self._rng,
+        )
+        batch = _BatchInFlight(
+            instance=instance, requests=requests, start=now, exec_s=exec_s
+        )
+        self.loop.schedule(now + exec_s, EventKind.BATCH_COMPLETE, batch)
+
+    def _on_batch_complete(self, event: Event) -> None:
+        batch: _BatchInFlight = event.payload
+        instance = batch.instance
+        now = self.loop.now
+        config = instance.config
+        if (
+            instance.state == InstanceState.TERMINATED
+            and instance.placement is None
+        ):
+            # The server died mid-execution: the in-flight batch is lost.
+            for _request in batch.requests:
+                self.metrics.record_drop(now)
+            instance.busy = False
+            return
+        for request in batch.requests:
+            next_stage = self.chains.get(request.function)
+            if next_stage is not None:
+                self._forward(request, next_stage)
+                continue
+            total_wait = batch.start - request.arrival
+            cold_wait = min(
+                max(0.0, instance.ready_at - request.arrival), total_wait
+            )
+            self.metrics.record_completion(
+                RequestRecord(
+                    function=request.function,
+                    arrival=request.origin,
+                    completion=now,
+                    cold_wait_s=cold_wait,
+                    queue_wait_s=max(0.0, total_wait - cold_wait),
+                    exec_s=batch.exec_s,
+                    batch_size=len(batch.requests),
+                    config=(config.batch, config.cpu, config.gpu),
+                    slo_s=request.slo_s,
+                )
+            )
+        instance.busy = False
+        if instance.queue.is_empty:
+            instance.idle_since = now
+        self._maybe_start(instance)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def schedule_server_failure(self, at_s: float, server_id: int) -> None:
+        """Inject a machine loss at an absolute simulation time."""
+        self.loop.schedule(at_s, EventKind.SERVER_FAILURE, server_id)
+
+    def _on_server_failure(self, event: Event) -> None:
+        server_id: int = event.payload
+        handler = getattr(self.platform, "handle_server_failure", None)
+        if handler is None:
+            raise RuntimeError(
+                f"{type(self.platform).__name__} cannot handle server failures"
+            )
+        lost = handler(server_id, self.loop.now)
+        # Queued (not yet executing) requests survived in the gateway:
+        # re-dispatch them to the remaining instances.
+        for instance in lost:
+            while instance.queue is not None and not instance.queue.is_empty:
+                for request in instance.queue.drain():
+                    self._dispatch(request)
+
+    def _forward(self, request: Request, next_stage: str) -> None:
+        """Hand a completed stage's request to the next chain stage."""
+        now = self.loop.now
+        follow_on = Request(
+            function=next_stage,
+            arrival=now,
+            slo_s=request.slo_s,
+            origin_arrival=request.origin,
+        )
+        self._arrivals_since_tick[next_stage] += 1
+        self.platform.record_invocation(next_stage, now)
+        self._dispatch(follow_on)
+
+    # ------------------------------------------------------------------
+    # control loop
+    # ------------------------------------------------------------------
+    def _estimate_rate(self, name: str) -> float:
+        if self.rate_mode == "oracle" and name in self.workload:
+            return self.workload[name].rps_at(self.loop.now)
+        if self.rate_mode == "oracle" and name not in self.workload:
+            # Downstream chain stages see the entry stages' rate; fall
+            # through to the measured estimator for them.
+            pass
+        measured = self._arrivals_since_tick[name] / self.control_interval_s
+        self._arrivals_since_tick[name] = 0
+        estimate = (
+            self.ewma * measured + (1.0 - self.ewma) * self._rate_estimate[name]
+        )
+        self._rate_estimate[name] = estimate
+        return estimate
+
+    def _on_control_tick(self, event: Event) -> None:
+        now = self.loop.now
+        for name in self._managed:
+            rate = self._estimate_rate(name)
+            action = self.platform.control(name, rate, now)
+            overhead = getattr(action, "scheduling_overhead_s", 0.0)
+            if overhead:
+                self.metrics.record_scheduling_overhead(overhead)
+            self._drain_pending(name)
+        self._sample_usage(now)
+        next_tick = now + self.control_interval_s
+        if next_tick <= self._horizon:
+            self.loop.schedule(next_tick, EventKind.CONTROL_TICK)
+
+    def _drain_pending(self, name: str) -> None:
+        pending = self._pending[name]
+        while pending:
+            instance = self.platform.route(name, self.loop.now)
+            if instance is None:
+                return
+            self._enqueue(instance, pending.popleft())
+
+    def _sample_usage(self, now: float) -> None:
+        cluster = self.platform.cluster
+        used = cluster.total_used
+        self.metrics.record_usage(
+            now,
+            weighted=cluster.weighted_used(),
+            cpu=used.cpu,
+            gpu=used.gpu,
+            fragment_ratio=cluster.fragment_ratio(),
+        )
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        """Replay the full workload and return the aggregated report."""
+        self._schedule_arrivals()
+        self.loop.schedule(0.0, EventKind.CONTROL_TICK)
+        self.loop.run()
+        self._sample_usage(self.loop.now)
+        stats = getattr(getattr(self.platform, "autoscaler", None), "stats", None)
+        return self.metrics.finalize(
+            duration_s=self._horizon,
+            warmup_s=self.warmup_s,
+            cold_starts=getattr(stats, "cold_starts", 0),
+            launches=getattr(stats, "launches", 0),
+            warm_reuses=getattr(stats, "warm_reuses", 0),
+            reserved_idle_resource_s=getattr(
+                stats, "reserved_idle_resource_s", 0.0
+            ),
+        )

@@ -1,0 +1,120 @@
+"""Azure-Functions-style trace ingestion.
+
+The paper replays "the production trace from Azure Function [36], which
+include 7-day request statistics".  The public dataset ships per-minute
+invocation counts, one row per function:
+
+    HashApp,HashFunction,Trigger,1,2,3,...,1440
+
+This module reads that CSV shape into :class:`~repro.workloads.trace.Trace`
+objects (one per function, 60-second resolution) and can also *write*
+the format from our synthetic generators, so experiments exchange
+workloads with tooling that expects the Azure layout.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+#: the dataset's resolution: one invocation count per minute.
+AZURE_STEP_S = 60.0
+_META_COLUMNS = 3  # HashApp, HashFunction, Trigger
+
+
+class AzureTraceError(ValueError):
+    """Raised for rows that do not follow the dataset layout."""
+
+
+def parse_rows(rows: Iterable[List[str]]) -> Dict[str, Trace]:
+    """Parse Azure-layout rows into per-function traces.
+
+    Functions are keyed ``<app>/<function>``; counts become arrival
+    rates (count / 60 s).  A header row (non-numeric counts) is
+    skipped automatically.
+    """
+    traces: Dict[str, Trace] = {}
+    for index, row in enumerate(rows):
+        if len(row) <= _META_COLUMNS:
+            raise AzureTraceError(
+                f"row {index}: expected metadata plus per-minute counts"
+            )
+        app, function, _trigger = row[:_META_COLUMNS]
+        if app.lower() == "hashapp" and function.lower() == "hashfunction":
+            continue  # header row (its count columns are numeric labels)
+        try:
+            counts = np.array([float(cell) for cell in row[_META_COLUMNS:]])
+        except ValueError:
+            raise AzureTraceError(f"row {index}: non-numeric counts") from None
+        if np.any(counts < 0):
+            raise AzureTraceError(f"row {index}: negative invocation count")
+        name = f"{app}/{function}"
+        if name in traces:
+            raise AzureTraceError(f"duplicate function {name!r}")
+        traces[name] = Trace(
+            name=name, step_s=AZURE_STEP_S, rps=counts / AZURE_STEP_S
+        )
+    return traces
+
+
+def load_azure_csv(path: Path, limit: Optional[int] = None) -> Dict[str, Trace]:
+    """Load an Azure-layout CSV file (optionally only the first rows)."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        rows = []
+        for row in reader:
+            rows.append(row)
+            if limit is not None and len(rows) >= limit + 1:
+                break
+    return parse_rows(rows)
+
+
+def write_azure_csv(path: Path, traces: Dict[str, Trace]) -> None:
+    """Write traces in the Azure layout (per-minute counts).
+
+    Traces are resampled onto the 60-second grid by averaging their
+    rates within each minute.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        minutes = max(
+            int(np.ceil(trace.duration_s / AZURE_STEP_S))
+            for trace in traces.values()
+        )
+        writer.writerow(
+            ["HashApp", "HashFunction", "Trigger"]
+            + [str(i + 1) for i in range(minutes)]
+        )
+        for name, trace in traces.items():
+            app, _sep, function = name.partition("/")
+            counts = []
+            for minute in range(minutes):
+                start = minute * AZURE_STEP_S
+                end = min(start + AZURE_STEP_S, trace.duration_s)
+                if start >= trace.duration_s:
+                    counts.append(0.0)
+                    continue
+                lo = int(start / trace.step_s)
+                hi = max(lo + 1, int(np.ceil(end / trace.step_s)))
+                mean_rate = float(trace.rps[lo:hi].mean())
+                counts.append(round(mean_rate * AZURE_STEP_S, 6))
+            writer.writerow([app, function or "f", "http"] + counts)
+
+
+def aggregate(traces: Dict[str, Trace], name: str = "aggregate") -> Trace:
+    """Sum several same-resolution traces into one (cluster-level load)."""
+    if not traces:
+        raise AzureTraceError("no traces to aggregate")
+    steps = {trace.step_s for trace in traces.values()}
+    if len(steps) != 1:
+        raise AzureTraceError("traces must share one resolution")
+    length = max(trace.rps.size for trace in traces.values())
+    total = np.zeros(length)
+    for trace in traces.values():
+        total[: trace.rps.size] += trace.rps
+    return Trace(name=name, step_s=steps.pop(), rps=total)

@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+The COP predictor profiles the whole operator catalog over the
+configuration grid, which takes ~1s; it is deterministic, so tests
+share one session-scoped instance.
+"""
+
+import pytest
+from hypothesis import settings
+
+from repro.cluster import build_testbed_cluster
+from repro.profiling import GroundTruthExecutor, build_default_predictor
+
+# Property tests must be as reproducible as the simulations they
+# exercise: derandomise hypothesis so every run draws the same cases.
+settings.register_profile("repro", derandomize=True)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def predictor():
+    return build_default_predictor()
+
+
+@pytest.fixture(scope="session")
+def executor():
+    return GroundTruthExecutor()
+
+
+@pytest.fixture()
+def cluster():
+    return build_testbed_cluster()

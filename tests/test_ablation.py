@@ -1,0 +1,77 @@
+"""Tests for the Fig. 11 component-ablation machinery."""
+
+import pytest
+
+from repro.analysis import (
+    ABLATION_VARIANTS,
+    ablation_study,
+    build_engine_variant,
+    throughput_drops,
+)
+from repro.analysis.capacity import CapacityResult
+from repro.cluster import build_testbed_cluster
+from repro.workloads import build_qa_robot
+
+
+class TestVariantConstruction:
+    def test_full_variant_is_plain_engine(self, predictor):
+        engine = build_engine_variant(build_testbed_cluster(), predictor, "full")
+        assert engine.scheduler.selection == "efficiency"
+        assert engine.predictor.safety_offset == pytest.approx(1.10)
+
+    def test_no_bb_limits_batches_to_one(self, predictor):
+        engine = build_engine_variant(build_testbed_cluster(), predictor, "no-bb")
+        assert engine.scheduler.config_space.max_batch == 1
+
+    def test_no_rs_uses_density_selection(self, predictor):
+        engine = build_engine_variant(build_testbed_cluster(), predictor, "no-rs")
+        assert engine.scheduler.selection == "max_density"
+        assert engine.scheduler.dynamic_beta is False
+
+    @pytest.mark.parametrize("variant,offset", [("op1.5", 1.5), ("op2", 2.0)])
+    def test_op_variants_inflate_predictions(self, predictor, variant, offset):
+        engine = build_engine_variant(build_testbed_cluster(), predictor, variant)
+        assert engine.predictor.safety_offset == pytest.approx(offset)
+        # Same profile database, degraded offset.
+        assert engine.predictor.database is predictor.database
+
+    def test_unknown_variant_rejected(self, predictor):
+        with pytest.raises(ValueError, match="unknown variant"):
+            build_engine_variant(build_testbed_cluster(), predictor, "no-magic")
+
+
+class TestAblationStudy:
+    @pytest.fixture(scope="class")
+    def results(self, predictor):
+        return ablation_study(
+            predictor, build_qa_robot().functions, build_testbed_cluster
+        )
+
+    def test_all_variants_present(self, results):
+        assert set(results) == set(ABLATION_VARIANTS)
+
+    def test_every_ablation_loses_throughput(self, results):
+        drops = throughput_drops(results)
+        # no-rs can land within noise of full; the others must cost.
+        assert drops["no-bb"] > 0.3
+        assert drops["op1.5"] > 0.05
+        assert drops["op2"] > drops["op1.5"]
+
+    def test_batching_is_the_largest_contributor(self, results):
+        drops = throughput_drops(results)
+        assert drops["no-bb"] == max(drops.values())
+
+    def test_no_bb_serves_only_batch_one(self, results):
+        assert all(
+            key[0] == 1 for key in results["no-bb"].config_counts
+        )
+
+    def test_drops_require_full_variant(self):
+        with pytest.raises(KeyError):
+            throughput_drops({"no-bb": CapacityResult(platform="x")})
+
+    def test_zero_full_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_drops(
+                {"full": CapacityResult(platform="x"), "no-bb": CapacityResult(platform="y")}
+            )

@@ -1,0 +1,119 @@
+"""Tests for Azure-Functions-format trace ingestion."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    aggregate,
+    bursty_trace,
+    constant_trace,
+    load_azure_csv,
+    parse_rows,
+    write_azure_csv,
+)
+from repro.workloads.azure import AZURE_STEP_S, AzureTraceError
+
+
+def make_rows():
+    return [
+        ["HashApp", "HashFunction", "Trigger", "1", "2", "3"],
+        ["app1", "fnA", "http", "60", "120", "0"],
+        ["app1", "fnB", "timer", "6", "6", "6"],
+    ]
+
+
+class TestParseRows:
+    def test_counts_become_rates(self):
+        traces = parse_rows(make_rows())
+        assert traces["app1/fnA"].rps_at(0.0) == pytest.approx(1.0)
+        assert traces["app1/fnA"].rps_at(61.0) == pytest.approx(2.0)
+        assert traces["app1/fnB"].mean_rps == pytest.approx(0.1)
+
+    def test_resolution_is_one_minute(self):
+        traces = parse_rows(make_rows())
+        assert all(t.step_s == AZURE_STEP_S for t in traces.values())
+
+    def test_header_skipped(self):
+        assert len(parse_rows(make_rows())) == 2
+
+    def test_short_row_rejected(self):
+        with pytest.raises(AzureTraceError):
+            parse_rows([["app", "fn", "http"]])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(AzureTraceError):
+            parse_rows([["app", "fn", "http", "-1", "2"]])
+
+    def test_non_numeric_body_rejected(self):
+        rows = make_rows()
+        rows[1][3] = "many"
+        with pytest.raises(AzureTraceError):
+            parse_rows(rows)
+
+    def test_duplicate_function_rejected(self):
+        rows = make_rows() + [["app1", "fnA", "http", "1", "1", "1"]]
+        with pytest.raises(AzureTraceError):
+            parse_rows(rows)
+
+
+class TestCsvRoundtrip:
+    def test_write_then_load(self, tmp_path):
+        original = {
+            "app/fx": constant_trace(2.0, 300.0, step_s=60.0),
+            "app/fy": bursty_trace(1.0, 300.0, step_s=60.0, seed=3),
+        }
+        path = tmp_path / "trace.csv"
+        write_azure_csv(path, original)
+        restored = load_azure_csv(path)
+        assert set(restored) == set(original)
+        for name in original:
+            assert restored[name].mean_rps == pytest.approx(
+                original[name].mean_rps, rel=0.01
+            )
+
+    def test_load_limit(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_azure_csv(
+            path,
+            {f"app/f{i}": constant_trace(1.0, 120.0, step_s=60.0)
+             for i in range(5)},
+        )
+        assert len(load_azure_csv(path, limit=2)) == 2
+
+    def test_resamples_finer_traces(self, tmp_path):
+        fine = {"app/f": constant_trace(3.0, 120.0, step_s=1.0)}
+        path = tmp_path / "trace.csv"
+        write_azure_csv(path, fine)
+        restored = load_azure_csv(path)["app/f"]
+        assert restored.mean_rps == pytest.approx(3.0, rel=0.01)
+
+
+class TestAggregate:
+    def test_sums_rates(self):
+        traces = {
+            "a": constant_trace(1.0, 120.0, step_s=60.0),
+            "b": constant_trace(2.0, 120.0, step_s=60.0),
+        }
+        total = aggregate(traces)
+        assert total.mean_rps == pytest.approx(3.0)
+
+    def test_pads_shorter_traces(self):
+        traces = {
+            "a": constant_trace(1.0, 120.0, step_s=60.0),
+            "b": constant_trace(1.0, 240.0, step_s=60.0),
+        }
+        total = aggregate(traces)
+        assert total.duration_s == 240.0
+        assert total.rps_at(200.0) == pytest.approx(1.0)
+
+    def test_mixed_resolutions_rejected(self):
+        traces = {
+            "a": constant_trace(1.0, 120.0, step_s=60.0),
+            "b": constant_trace(1.0, 120.0, step_s=30.0),
+        }
+        with pytest.raises(AzureTraceError):
+            aggregate(traces)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AzureTraceError):
+            aggregate({})

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_models_parses(self):
+        args = build_parser().parse_args(["list-models"])
+        assert args.command == "list-models"
+
+    def test_predict_defaults(self):
+        args = build_parser().parse_args(["predict", "--model", "mnist"])
+        assert (args.batch, args.cpu, args.gpu) == (8, 2, 20)
+
+    def test_capacity_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["capacity", "--app", "webshop"])
+
+
+class TestCommands:
+    def test_list_models_output(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "bert-v1" in out and "mnist" in out
+
+    def test_predict_output(self, capsys, predictor):
+        assert main(
+            ["predict", "--model", "mnist", "--batch", "4", "--cpu", "1",
+             "--gpu", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(b=4, c=1, g=0)" in out
+
+    def test_capacity_output(self, capsys, predictor):
+        assert main(["capacity", "--app", "qa", "--servers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "infless" in out and "openfaas+" in out
+
+    def test_simulate_output(self, capsys, predictor):
+        assert main(
+            ["simulate", "--model", "mnist", "--rps", "50", "--duration",
+             "30", "--slo-ms", "100"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SLO violations" in out
+
+    def test_coldstart_output(self, capsys):
+        assert main(["coldstart", "--days", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "hhp-4h" in out and "lsth-g0.5" in out
+
+
+class TestPlanCommand:
+    def test_plan_feasible_output(self, capsys, predictor):
+        assert main(["plan", "--model", "resnet-50", "--slo-ms", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "t_exec" in out and "RPS/unit" in out
+
+    def test_plan_with_sizing(self, capsys, predictor):
+        assert main(
+            ["plan", "--model", "mobilenet", "--slo-ms", "100", "--rps", "500"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cheapest mix" in out
+
+    def test_plan_infeasible_slo(self, capsys, predictor):
+        assert main(["plan", "--model", "bert-v1", "--slo-ms", "4"]) == 1
+        out = capsys.readouterr().out
+        assert "cannot meet" in out

@@ -1,0 +1,74 @@
+"""Unit tests for the discrete configuration space."""
+
+import pytest
+
+from repro.profiling.configspace import (
+    ConfigSpace,
+    InstanceConfig,
+    batch_choices,
+)
+
+
+class TestInstanceConfig:
+    def test_valid_config(self):
+        config = InstanceConfig(batch=4, cpu=2, gpu=20)
+        assert str(config) == "(b=4, c=2, g=20)"
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceConfig(batch=0, cpu=1, gpu=0)
+
+    def test_zero_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceConfig(batch=1, cpu=0, gpu=10)
+
+    def test_gpu_over_100_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceConfig(batch=1, cpu=1, gpu=101)
+
+    def test_resources_carries_memory(self):
+        res = InstanceConfig(batch=2, cpu=2, gpu=10).resources(memory_mb=512)
+        assert (res.cpu, res.gpu, res.memory_mb) == (2, 10, 512)
+
+    def test_weighted_cost(self):
+        assert InstanceConfig(batch=1, cpu=2, gpu=30).weighted_cost(beta=5.0) == 40.0
+
+    def test_configs_are_hashable_values(self):
+        assert InstanceConfig(1, 1, 0) == InstanceConfig(1, 1, 0)
+        assert len({InstanceConfig(1, 1, 0), InstanceConfig(1, 1, 0)}) == 1
+
+
+class TestBatchChoices:
+    def test_powers_of_two(self):
+        assert batch_choices(32) == [1, 2, 4, 8, 16, 32]
+
+    def test_non_pow2_max_truncates(self):
+        assert batch_choices(10) == [1, 2, 4, 8]
+
+    def test_minimum(self):
+        assert batch_choices(1) == [1]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            batch_choices(0)
+
+
+class TestConfigSpace:
+    def test_default_size(self):
+        space = ConfigSpace()
+        expected = len(space.batches()) * len(space.cpu_choices) * len(
+            space.gpu_choices
+        )
+        assert space.size() == expected
+
+    def test_batches_descending(self):
+        assert ConfigSpace(max_batch=8).batches_descending() == [8, 4, 2, 1]
+
+    def test_all_configs_iterates_everything(self):
+        space = ConfigSpace(cpu_choices=(1, 2), gpu_choices=(0, 10), max_batch=2)
+        configs = list(space.all_configs())
+        assert len(configs) == space.size() == 8
+
+    def test_configs_for_batch_fixes_batch(self):
+        space = ConfigSpace(cpu_choices=(1,), gpu_choices=(0, 10), max_batch=4)
+        assert all(c.batch == 4 for c in space.configs_for_batch(4))

@@ -1,0 +1,122 @@
+"""Unit tests for the batch-aware dispatcher (section 3.2 cases)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FunctionSpec, Instance
+from repro.core.batching import rate_bounds
+from repro.core.dispatcher import plan_dispatch
+from repro.profiling.configspace import InstanceConfig
+
+
+def make_instance(t_exec=0.05, slo=0.2, batch=4, cpu=2, gpu=20):
+    function = FunctionSpec.for_model("resnet-50", slo_s=slo)
+    return Instance(
+        function=function,
+        config=InstanceConfig(batch=batch, cpu=cpu, gpu=gpu),
+        t_exec_pred=t_exec,
+        bounds=rate_bounds(t_exec, slo, batch),
+    )
+
+
+class TestCaseOne:
+    def test_overflow_saturates_and_reports_residual(self):
+        instances = [make_instance(), make_instance()]  # r_up = 80 each
+        plan = plan_dispatch(instances, rps=250.0)
+        assert plan.case == "i"
+        assert plan.residual_rps == pytest.approx(90.0)
+        assert all(rate == 80.0 for rate in plan.rates.values())
+
+    def test_no_instances_all_residual(self):
+        plan = plan_dispatch([], rps=100.0)
+        assert plan.residual_rps == 100.0
+
+
+class TestCaseTwo:
+    def test_shares_sum_to_load(self):
+        instances = [make_instance(), make_instance()]
+        plan = plan_dispatch(instances, rps=140.0)
+        assert plan.case == "ii"
+        assert plan.total_assigned == pytest.approx(140.0)
+
+    def test_shares_respect_bounds(self):
+        instances = [make_instance(), make_instance()]
+        plan = plan_dispatch(instances, rps=140.0)
+        for instance in instances:
+            rate = plan.rates[instance.instance_id]
+            assert instance.r_low - 1e-9 <= rate <= instance.r_up + 1e-9
+
+    def test_full_load_gives_upper_bounds(self):
+        instances = [make_instance()]
+        plan = plan_dispatch(instances, rps=80.0)
+        assert plan.rates[instances[0].instance_id] == pytest.approx(80.0)
+
+    def test_wider_range_takes_bigger_cut(self):
+        narrow = make_instance(t_exec=0.08, batch=4)   # [56, 48]?? -> recompute
+        # narrow: t_exec=0.08 -> r_up=48, r_low=ceil(1/0.12)*4=36, width 12
+        wide = make_instance(t_exec=0.05, batch=4)      # [28, 80], width 52
+        plan = plan_dispatch([narrow, wide], rps=100.0)
+        cut_narrow = narrow.r_up - plan.rates[narrow.instance_id]
+        cut_wide = wide.r_up - plan.rates[wide.instance_id]
+        assert cut_wide > cut_narrow
+
+    @given(rps=st.floats(1.0, 160.0))
+    @settings(max_examples=60, deadline=None)
+    def test_never_dispatches_more_than_load(self, rps):
+        instances = [make_instance(), make_instance()]
+        plan = plan_dispatch(instances, rps=rps)
+        assert plan.total_assigned <= rps + 1e-6
+
+
+class TestCaseThree:
+    def test_releases_surplus_instances(self):
+        instances = [make_instance() for _ in range(4)]  # capacity 320
+        plan = plan_dispatch(instances, rps=50.0)
+        assert plan.to_release
+        assert plan.case in ("iii", "ii-under")
+        remaining = len(instances) - len(plan.to_release)
+        assert remaining >= 1
+
+    def test_release_keeps_enough_capacity(self):
+        instances = [make_instance() for _ in range(4)]
+        plan = plan_dispatch(instances, rps=50.0)
+        kept_capacity = sum(
+            inst.r_up for inst in instances if inst not in plan.to_release
+        )
+        assert kept_capacity >= 50.0
+
+    def test_busy_instances_not_released(self):
+        instances = [make_instance() for _ in range(3)]
+        for instance in instances:
+            instance.busy = True
+        plan = plan_dispatch(instances, rps=10.0)
+        assert not plan.to_release
+
+    def test_queued_instances_not_released(self):
+        instances = [make_instance() for _ in range(3)]
+        for instance in instances:
+            instance.queue.enqueue(object(), now=0.0)
+        plan = plan_dispatch(instances, rps=10.0)
+        assert not plan.to_release
+
+    def test_least_efficient_released_first(self):
+        efficient = make_instance(t_exec=0.02, batch=4, cpu=1, gpu=10)
+        wasteful = make_instance(t_exec=0.05, batch=4, cpu=8, gpu=100)
+        plan = plan_dispatch([efficient, wasteful], rps=30.0)
+        if plan.to_release:
+            assert plan.to_release[0] is wasteful
+
+
+class TestValidation:
+    def test_negative_rps_rejected(self):
+        with pytest.raises(ValueError):
+            plan_dispatch([], rps=-1.0)
+
+    def test_alpha_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            plan_dispatch([], rps=1.0, alpha=1.5)
+
+    def test_zero_load_releases_down_to_one(self):
+        instances = [make_instance() for _ in range(3)]
+        plan = plan_dispatch(instances, rps=0.0)
+        assert len(plan.to_release) == 2

@@ -1,0 +1,66 @@
+"""Unit tests for the Eq. 10 resource-efficiency metric."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.efficiency import (
+    FRAGMENTATION_FLOOR,
+    resource_efficiency,
+    rps_per_resource,
+)
+
+
+class TestRpsPerResource:
+    def test_density_formula(self):
+        assert rps_per_resource(100.0, 2, 30, beta=5.0) == pytest.approx(2.5)
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(ValueError):
+            rps_per_resource(100.0, 0, 0)
+
+
+class TestResourceEfficiency:
+    def test_tighter_fill_scores_higher(self):
+        # Same configuration, fuller server -> less fragmentation.
+        loose = resource_efficiency(100.0, 2, 20, 16, 200, beta=1.0)
+        tight = resource_efficiency(100.0, 2, 20, 4, 40, beta=1.0)
+        assert tight > loose
+
+    def test_higher_density_scores_higher(self):
+        dense = resource_efficiency(200.0, 2, 20, 16, 200, beta=1.0)
+        sparse = resource_efficiency(100.0, 2, 20, 16, 200, beta=1.0)
+        assert dense > sparse
+
+    def test_normaliser_caps_density_at_one(self):
+        capped = resource_efficiency(
+            1000.0, 2, 20, 16, 200, beta=1.0, normaliser=1.0
+        )
+        uncapped = resource_efficiency(
+            1000.0, 2, 20, 16, 200, beta=1.0, normaliser=None
+        )
+        assert capped < uncapped
+
+    def test_fragmentation_floor_bounds_packing_boost(self):
+        # An exact fill must not diverge: the boost is bounded by
+        # 1/floor (see DESIGN.md deviations).
+        exact = resource_efficiency(1.0, 16, 200, 16, 200, beta=1.0, normaliser=None)
+        density = 1.0 / (16 + 200)
+        assert exact == pytest.approx(density / FRAGMENTATION_FLOOR)
+
+    def test_oversized_instance_rejected(self):
+        with pytest.raises(ValueError):
+            resource_efficiency(10.0, 32, 300, 16, 200, beta=1.0)
+
+    def test_zero_server_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            resource_efficiency(10.0, 1, 0, 0, 0, beta=1.0)
+
+    @given(
+        r_up=st.floats(1.0, 1e4),
+        cpu=st.integers(1, 8),
+        gpu=st.integers(0, 100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_score_always_positive(self, r_up, cpu, gpu):
+        score = resource_efficiency(r_up, cpu, gpu, 16, 200, beta=1.0)
+        assert score > 0

@@ -1,0 +1,104 @@
+"""Unit tests for the INFlessEngine facade."""
+
+import pytest
+
+from repro.cluster import build_testbed_cluster
+from repro.core import FunctionSpec, INFlessEngine
+
+
+@pytest.fixture()
+def engine(predictor):
+    return INFlessEngine(build_testbed_cluster(), predictor=predictor)
+
+
+@pytest.fixture()
+def deployed(engine):
+    fn = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+    engine.deploy(fn)
+    return engine, fn
+
+
+class TestDeployment:
+    def test_deploy_and_lookup(self, deployed):
+        engine, fn = deployed
+        assert engine.function(fn.name) is fn
+        assert fn in engine.functions
+
+    def test_duplicate_deploy_rejected(self, deployed):
+        engine, fn = deployed
+        with pytest.raises(ValueError):
+            engine.deploy(fn)
+
+    def test_unknown_function_lookup(self, engine):
+        with pytest.raises(KeyError, match="unknown function"):
+            engine.function("ghost")
+
+
+class TestControlPlane:
+    def test_control_launches_capacity(self, deployed):
+        engine, fn = deployed
+        engine.control(fn.name, rps=400.0, now=0.0)
+        assert engine.capacity_rps(fn.name) >= 400.0
+
+    def test_control_scale_in(self, deployed):
+        engine, fn = deployed
+        engine.control(fn.name, rps=2000.0, now=0.0)
+        many = len(engine.instances(fn.name))
+        engine.control(fn.name, rps=50.0, now=10.0)
+        assert len(engine.instances(fn.name)) <= many
+
+    def test_record_invocation_feeds_policy(self, deployed):
+        engine, fn = deployed
+        engine.record_invocation(fn.name, 0.0)
+        engine.record_invocation(fn.name, 5.0)
+        histograms = engine.policy._histograms_for(fn.name)
+        assert any(h.count(5.0) for h in histograms)
+
+    def test_weighted_resources_in_use(self, deployed):
+        engine, fn = deployed
+        assert engine.weighted_resources_in_use() == 0.0
+        engine.control(fn.name, rps=400.0, now=0.0)
+        assert engine.weighted_resources_in_use() > 0.0
+
+
+class TestRouting:
+    def test_route_without_instances_returns_none(self, deployed):
+        engine, fn = deployed
+        assert engine.route(fn.name, now=0.0) is None
+
+    def test_route_returns_dispatchable_instance(self, deployed):
+        engine, fn = deployed
+        engine.control(fn.name, rps=400.0, now=0.0)
+        instance = engine.route(fn.name, now=0.0)
+        assert instance is not None
+        assert instance.is_dispatchable()
+
+    def test_route_prefers_ready_instances(self, deployed):
+        engine, fn = deployed
+        engine.control(fn.name, rps=400.0, now=0.0)
+        ready_time = fn.model.cold_start_s + 1.0
+        engine.control(fn.name, rps=400.0, now=ready_time)
+        # Force a second (cold) instance alongside the warm one.
+        engine.control(fn.name, rps=1800.0, now=ready_time + 1.0)
+        chosen = {engine.route(fn.name, ready_time + 1.0).instance_id
+                  for _ in range(20)}
+        ready_ids = {
+            inst.instance_id
+            for inst in engine.instances(fn.name)
+            if inst.ready_at <= ready_time + 1.0
+        }
+        assert chosen <= ready_ids
+
+    def test_route_weighted_by_assigned_rate(self, deployed):
+        engine, fn = deployed
+        engine.control(fn.name, rps=1500.0, now=0.0)
+        instances = engine.instances(fn.name)
+        if len(instances) < 2:
+            pytest.skip("single instance covers the load")
+        counts = {inst.instance_id: 0 for inst in instances}
+        for _ in range(500):
+            counts[engine.route(fn.name, 0.0).instance_id] += 1
+        # Every instance with a positive share receives traffic.
+        for inst in instances:
+            if inst.assigned_rate > 1.0:
+                assert counts[inst.instance_id] > 0

@@ -1,0 +1,112 @@
+"""Tests for the operator-fusion graph pass."""
+
+import pytest
+
+from repro.models import MODEL_ZOO, get_model
+from repro.ops import OperatorGraph, can_fuse, fuse_elementwise, fusion_report
+from repro.ops.operator import OperatorSpec
+
+
+def op(kind, gflops=1.0, calls=1):
+    return OperatorSpec(kind_name=kind, gflops_per_item=gflops, calls=calls)
+
+
+@pytest.fixture()
+def conv_bn_relu():
+    return OperatorGraph.chain(
+        "block",
+        [
+            ("conv", op("Conv2D", 10.0)),
+            ("bn", op("BatchNorm", 0.5)),
+            ("relu", op("Relu", 0.2)),
+            ("pool", op("MaxPool", 0.1)),
+        ],
+    )
+
+
+class TestCanFuse:
+    def test_epilogue_after_dense_fuses(self, conv_bn_relu):
+        assert can_fuse(conv_bn_relu, "bn")
+
+    def test_non_epilogue_does_not_fuse(self, conv_bn_relu):
+        assert not can_fuse(conv_bn_relu, "pool")
+
+    def test_epilogue_after_non_dense_does_not_fuse(self, conv_bn_relu):
+        # relu follows bn (not a dense producer) pre-fusion.
+        assert not can_fuse(conv_bn_relu, "relu")
+
+    def test_fanout_producer_blocks_fusion(self):
+        graph = OperatorGraph.chain("g", [("conv", op("Conv2D", 10.0))])
+        graph.add_parallel_branches(
+            [[("relu", op("Relu", 0.1))], [("sigmoid", op("Sigmoid", 0.1))]]
+        )
+        assert not can_fuse(graph, "relu")
+        assert not can_fuse(graph, "sigmoid")
+
+    def test_join_node_blocks_fusion(self):
+        graph = OperatorGraph(name="g")
+        graph.add_node("a", op("Conv2D", 1.0))
+        graph.add_node("b", op("MatMul", 1.0))
+        graph.add_node("add", op("Add", 0.1))
+        graph.add_edge("a", "add")
+        graph.add_edge("b", "add")
+        assert not can_fuse(graph, "add")
+
+
+class TestFuseElementwise:
+    def test_chain_collapses_fully(self, conv_bn_relu):
+        fused, count = fuse_elementwise(conv_bn_relu)
+        assert count == 2  # bn then relu
+        assert {n.node_id for n in fused.nodes} == {"conv", "pool"}
+
+    def test_work_is_conserved(self, conv_bn_relu):
+        fused, _count = fuse_elementwise(conv_bn_relu)
+        assert fused.total_gflops_per_item() == pytest.approx(
+            conv_bn_relu.total_gflops_per_item()
+        )
+
+    def test_edges_rewired(self, conv_bn_relu):
+        fused, _count = fuse_elementwise(conv_bn_relu)
+        assert fused.successors("conv") == ["pool"]
+
+    def test_original_untouched(self, conv_bn_relu):
+        fuse_elementwise(conv_bn_relu)
+        assert len(conv_bn_relu) == 4
+
+    def test_call_count_mismatch_still_conserves_work(self):
+        graph = OperatorGraph.chain(
+            "g",
+            [("mm", op("MatMul", 2.0, calls=4)), ("bias", op("BiasAdd", 0.4))],
+        )
+        fused, count = fuse_elementwise(graph)
+        assert count == 1
+        assert fused.total_gflops_per_item() == pytest.approx(
+            graph.total_gflops_per_item()
+        )
+
+    def test_zoo_models_fuse_safely(self):
+        for model in MODEL_ZOO.values():
+            fused, _count = fuse_elementwise(model.graph)
+            fused.validate()
+            assert fused.total_gflops_per_item() == pytest.approx(
+                model.graph.total_gflops_per_item()
+            )
+
+
+class TestFusionReport:
+    def test_report_fields(self):
+        report = fusion_report(get_model("resnet-50").graph)
+        assert report["calls_after"] <= report["calls_before"]
+        assert (
+            report["dispatch_overhead_after_s"]
+            <= report["dispatch_overhead_before_s"]
+        )
+        assert report["gflops_after"] == pytest.approx(report["gflops_before"])
+
+    def test_fusion_reduces_dispatch_somewhere_in_zoo(self):
+        savings = [
+            fusion_report(m.graph)["dispatch_overhead_before_s"]
+            - fusion_report(m.graph)["dispatch_overhead_after_s"]
+            for m in MODEL_ZOO.values()
+        ]
+        assert max(savings) > 0

@@ -1,0 +1,83 @@
+"""Unit tests for operator specs, the catalog and profiles."""
+
+import pytest
+
+from repro.ops import OPERATOR_CATALOG, get_operator_kind
+from repro.ops.operator import OperatorKind, OperatorProfile, OperatorSpec
+
+
+class TestOperatorKind:
+    def test_catalog_has_dense_and_memory_bound_entries(self):
+        assert not OPERATOR_CATALOG["MatMul"].memory_bound
+        assert OPERATOR_CATALOG["Relu"].memory_bound
+
+    def test_catalog_efficiencies_within_unit_interval(self):
+        for kind in OPERATOR_CATALOG.values():
+            assert 0.0 < kind.cpu_efficiency <= 1.0
+            assert 0.0 < kind.gpu_efficiency <= 1.0
+
+    def test_catalog_overheads_positive(self):
+        for kind in OPERATOR_CATALOG.values():
+            assert kind.dispatch_overhead_s > 0
+
+    def test_dense_ops_beat_elementwise_on_gpu(self):
+        assert (
+            OPERATOR_CATALOG["Conv2D"].gpu_efficiency
+            > OPERATOR_CATALOG["Add"].gpu_efficiency
+        )
+
+    def test_invalid_cpu_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorKind(name="Bad", cpu_efficiency=0.0, gpu_efficiency=0.5)
+
+    def test_invalid_gpu_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorKind(name="Bad", cpu_efficiency=0.5, gpu_efficiency=1.5)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorKind(
+                name="Bad",
+                cpu_efficiency=0.5,
+                gpu_efficiency=0.5,
+                dispatch_overhead_s=-1e-6,
+            )
+
+    def test_lookup_unknown_operator_names_catalog(self):
+        with pytest.raises(KeyError, match="unknown operator"):
+            get_operator_kind("FluxCapacitor")
+
+    def test_lookup_known_operator(self):
+        assert get_operator_kind("Softmax").name == "Softmax"
+
+
+class TestOperatorSpec:
+    def test_total_gflops_scales_with_calls_and_size(self):
+        spec = OperatorSpec("MatMul", gflops_per_item=2.0, input_size=0.5, calls=4)
+        assert spec.total_gflops_per_item == pytest.approx(4.0)
+
+    def test_negative_gflops_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorSpec("MatMul", gflops_per_item=-1.0)
+
+    def test_zero_calls_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorSpec("MatMul", gflops_per_item=1.0, calls=0)
+
+    def test_zero_input_size_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorSpec("MatMul", gflops_per_item=1.0, input_size=0.0)
+
+
+class TestOperatorProfile:
+    def test_key_identifies_configuration(self):
+        profile = OperatorProfile("MatMul", 1.0, 4, 2, 20, 0.01)
+        assert profile.key == ("MatMul", 1.0, 4, 2, 20)
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorProfile("MatMul", 1.0, 0, 2, 20, 0.01)
+
+    def test_non_positive_time_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorProfile("MatMul", 1.0, 1, 2, 20, 0.0)

@@ -1,0 +1,187 @@
+"""Unit tests for the profiler, profile database and COP predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import get_model
+from repro.ops.operator import OperatorProfile
+from repro.profiling import (
+    ConfigSpace,
+    GroundTruthExecutor,
+    LatencyPredictor,
+    OperatorProfiler,
+    ProfileDatabase,
+)
+from repro.profiling.database import ProfileLookupError, _interpolate
+
+
+class TestProfileDatabase:
+    def _profile(self, p, t, batch=1, cpu=1, gpu=0):
+        return OperatorProfile("MatMul", p, batch, cpu, gpu, t)
+
+    def test_insert_and_exact_lookup(self):
+        db = ProfileDatabase()
+        db.insert(self._profile(1.0, 0.01))
+        assert db.lookup("MatMul", 1.0, 1, 1, 0) == pytest.approx(0.01)
+
+    def test_lookup_unknown_operator(self):
+        db = ProfileDatabase()
+        with pytest.raises(ProfileLookupError):
+            db.lookup("Conv2D", 1.0, 1, 1, 0)
+
+    def test_lookup_unprofiled_config(self):
+        db = ProfileDatabase()
+        db.insert(self._profile(1.0, 0.01))
+        with pytest.raises(ProfileLookupError):
+            db.lookup("MatMul", 1.0, 8, 4, 50)
+
+    def test_interpolates_between_sizes(self):
+        db = ProfileDatabase()
+        db.insert(self._profile(1.0, 0.010))
+        db.insert(self._profile(2.0, 0.020))
+        assert db.lookup("MatMul", 1.5, 1, 1, 0) == pytest.approx(0.015)
+
+    def test_extrapolates_beyond_range(self):
+        db = ProfileDatabase()
+        db.insert(self._profile(1.0, 0.010))
+        db.insert(self._profile(2.0, 0.020))
+        assert db.lookup("MatMul", 4.0, 1, 1, 0) == pytest.approx(0.040)
+
+    def test_extrapolation_clamped_positive(self):
+        db = ProfileDatabase()
+        db.insert(self._profile(1.0, 0.010))
+        db.insert(self._profile(2.0, 0.020))
+        assert db.lookup("MatMul", 1e-9, 1, 1, 0) > 0
+
+    def test_single_sample_scales_proportionally(self):
+        db = ProfileDatabase()
+        db.insert(self._profile(2.0, 0.020))
+        assert db.lookup("MatMul", 1.0, 1, 1, 0) == pytest.approx(0.010)
+
+    def test_has_config(self):
+        db = ProfileDatabase()
+        db.insert(self._profile(1.0, 0.01))
+        assert db.has_config("MatMul", 1, 1, 0)
+        assert not db.has_config("MatMul", 2, 1, 0)
+
+    def test_len_counts_inserts(self):
+        db = ProfileDatabase()
+        db.insert_many([self._profile(1.0, 0.01), self._profile(2.0, 0.02)])
+        assert len(db) == 2
+
+    def test_json_roundtrip(self, tmp_path):
+        db = ProfileDatabase()
+        db.insert(self._profile(1.0, 0.01))
+        db.insert(self._profile(2.0, 0.02, batch=4, cpu=2, gpu=20))
+        path = tmp_path / "profiles.json"
+        db.to_json(path)
+        restored = ProfileDatabase.from_json(path)
+        assert restored.lookup("MatMul", 1.0, 1, 1, 0) == pytest.approx(0.01)
+        assert restored.lookup("MatMul", 2.0, 4, 2, 20) == pytest.approx(0.02)
+
+    @given(
+        sizes=st.lists(
+            st.floats(0.01, 10.0), min_size=2, max_size=8, unique=True
+        ),
+        query=st.floats(0.01, 10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interpolation_monotone_for_monotone_series(self, sizes, query):
+        series = sorted((s, s * 2.0) for s in sizes)
+        value = _interpolate(series, query)
+        assert value == pytest.approx(max(1e-9, query * 2.0), rel=1e-6)
+
+
+class TestOperatorProfiler:
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError):
+            OperatorProfiler(repetitions=0)
+
+    def test_profile_operator_covers_grid(self):
+        space = ConfigSpace(cpu_choices=(1,), gpu_choices=(0, 10), max_batch=2)
+        profiler = OperatorProfiler(
+            config_space=space, input_sizes=(0.1, 1.0), repetitions=1
+        )
+        profiles = profiler.profile_operator("MatMul")
+        assert len(profiles) == space.size() * 2
+
+    def test_build_database_subset(self):
+        space = ConfigSpace(cpu_choices=(1,), gpu_choices=(0,), max_batch=1)
+        profiler = OperatorProfiler(
+            config_space=space, input_sizes=(1.0,), repetitions=1
+        )
+        db = profiler.build_database(operators=["MatMul", "Relu"])
+        assert db.operators == ["MatMul", "Relu"]
+
+    def test_measurements_average_toward_truth(self):
+        profiler = OperatorProfiler(repetitions=50, seed=1)
+        profile = profiler.measure("MatMul", 1.0, 4, 2, 20)
+        truth = profiler.cost_model.operator_time(
+            __import__("repro.ops.operator", fromlist=["OperatorSpec"]).OperatorSpec(
+                "MatMul", gflops_per_item=1.0
+            ),
+            4,
+            2,
+            20,
+        )
+        assert profile.time_s == pytest.approx(truth, rel=0.05)
+
+
+class TestLatencyPredictor:
+    def test_prediction_within_paper_band(self, predictor, executor):
+        """Fig. 8: mean COP error stays under ~10% per model."""
+        for name in ("resnet-50", "mobilenet", "lstm-2365"):
+            model = get_model(name)
+            errors = []
+            for batch in (1, 4, 8):
+                for cpu, gpu in ((1, 0), (2, 20), (4, 50)):
+                    predicted = predictor.predict_raw(model, batch, cpu, gpu)
+                    actual = executor.mean_execution_time(model, batch, cpu, gpu)
+                    errors.append(abs(predicted - actual) / actual)
+            assert np.mean(errors) < 0.12, name
+
+    def test_lstm_error_highest_of_fig8_trio(self, predictor, executor):
+        """Fig. 8: the branchy LSTM has the worst prediction error."""
+        means = {}
+        for name in ("resnet-50", "mobilenet", "lstm-2365"):
+            model = get_model(name)
+            errors = []
+            for batch in (1, 2, 4, 8):
+                for cpu, gpu in ((1, 0), (2, 0), (2, 20), (4, 50)):
+                    predicted = predictor.predict_raw(model, batch, cpu, gpu)
+                    actual = executor.mean_execution_time(model, batch, cpu, gpu)
+                    errors.append(abs(predicted - actual) / actual)
+            means[name] = np.mean(errors)
+        assert means["lstm-2365"] == max(means.values())
+
+    def test_safety_offset_applied(self, predictor):
+        model = get_model("resnet-50")
+        raw = predictor.predict_raw(model, 4, 2, 20)
+        assert predictor.predict(model, 4, 2, 20) == pytest.approx(1.10 * raw)
+
+    def test_offset_below_one_rejected(self, predictor):
+        with pytest.raises(ValueError):
+            LatencyPredictor(predictor.database, safety_offset=0.9)
+
+    def test_predict_accepts_model_name(self, predictor):
+        by_name = predictor.predict("resnet-50", 4, 2, 20)
+        by_spec = predictor.predict(get_model("resnet-50"), 4, 2, 20)
+        assert by_name == by_spec
+
+    def test_predictions_cached(self, predictor):
+        predictor.predict("mnist", 2, 1, 0)
+        assert ("mnist", 2, 1, 0) in predictor._cache
+
+    def test_prediction_error_helper(self, predictor):
+        model = get_model("mnist")
+        raw = predictor.predict_raw(model, 1, 1, 0)
+        assert predictor.prediction_error(model, 1, 1, 0, raw) == pytest.approx(0.0)
+
+    def test_prediction_error_rejects_bad_actual(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.prediction_error("mnist", 1, 1, 0, 0.0)
+
+    def test_predicts_more_time_for_less_gpu(self, predictor):
+        model = get_model("resnet-50")
+        assert predictor.predict(model, 8, 2, 10) > predictor.predict(model, 8, 2, 50)

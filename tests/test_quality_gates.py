@@ -1,0 +1,69 @@
+"""Repository-wide quality gates: documentation and API hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _finder, name, _pkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+]
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_public_members_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = [
+            name
+            for name, obj in public_members(module)
+            if not inspect.getdoc(obj)
+        ]
+        assert not undocumented, (
+            f"{module_name}: missing docstrings on {undocumented}"
+        )
+
+
+class TestPublicApi:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "package",
+        ["repro.cluster", "repro.core", "repro.ops", "repro.models",
+         "repro.profiling", "repro.workloads", "repro.simulation",
+         "repro.baselines", "repro.analysis"],
+    )
+    def test_package_all_resolves(self, package):
+        module = importlib.import_module(package)
+        assert module.__all__
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name}"
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version_present(self):
+        assert repro.__version__

@@ -1,0 +1,138 @@
+"""Unit tests for Algorithm 1 (the greedy scheduler)."""
+
+import pytest
+
+from repro.cluster import build_testbed_cluster
+from repro.core import FunctionSpec, GreedyScheduler
+from repro.core.scheduler import SchedulingError
+
+
+@pytest.fixture()
+def scheduler(cluster, predictor):
+    return GreedyScheduler(cluster, predictor)
+
+
+@pytest.fixture()
+def resnet_fn():
+    return FunctionSpec.for_model("resnet-50", slo_s=0.2)
+
+
+class TestAvailableConfig:
+    def test_configs_meet_slo_constraints(self, scheduler, resnet_fn):
+        for config, t_exec, bounds in scheduler.available_configs(
+            resnet_fn, batch=8, residual_rps=1e6
+        ):
+            assert t_exec <= resnet_fn.slo_s / 2
+            assert bounds.r_low <= bounds.r_up
+
+    def test_batch_one_only_needs_full_slo(self, scheduler, resnet_fn):
+        rows = scheduler.available_configs(resnet_fn, batch=1, residual_rps=1e6)
+        assert rows
+        for _config, t_exec, _bounds in rows:
+            assert t_exec <= resnet_fn.slo_s
+
+    def test_low_residual_filters_large_batches(self, scheduler, resnet_fn):
+        plenty = scheduler.available_configs(resnet_fn, batch=32, residual_rps=1e6)
+        scarce = scheduler.available_configs(resnet_fn, batch=32, residual_rps=10.0)
+        assert len(scarce) < len(plenty)
+
+    def test_results_cached_per_function_batch(self, scheduler, resnet_fn):
+        scheduler.available_configs(resnet_fn, batch=8, residual_rps=100.0)
+        assert (resnet_fn.name, 8) in scheduler._config_cache
+
+
+class TestSchedule:
+    def test_covers_residual_when_space_allows(self, scheduler, resnet_fn):
+        outcome = scheduler.schedule(resnet_fn, residual_rps=500.0)
+        assert outcome.leftover_rps == 0.0
+        assert outcome.placed_capacity >= 500.0
+
+    def test_instances_are_placed_on_cluster(self, scheduler, resnet_fn):
+        outcome = scheduler.schedule(resnet_fn, residual_rps=500.0)
+        for instance in outcome.instances:
+            assert instance.placement is not None
+        assert scheduler.cluster.weighted_used() > 0
+
+    def test_zero_residual_places_nothing(self, scheduler, resnet_fn):
+        outcome = scheduler.schedule(resnet_fn, residual_rps=0.0)
+        assert not outcome.instances
+
+    def test_negative_residual_rejected(self, scheduler, resnet_fn):
+        with pytest.raises(ValueError):
+            scheduler.schedule(resnet_fn, residual_rps=-1.0)
+
+    def test_prefers_largest_feasible_batch_under_stress(self, scheduler, resnet_fn):
+        outcome = scheduler.schedule(resnet_fn, 2000.0)
+        assert max(inst.config.batch for inst in outcome.instances) == 32
+
+    def test_small_load_uses_small_batches(self, scheduler, resnet_fn):
+        # With 10 RPS a batch-32 instance can never saturate (r_low
+        # gating), so the scheduler must fall to smaller batches.
+        outcome = scheduler.schedule(resnet_fn, residual_rps=10.0)
+        assert outcome.instances
+        assert all(
+            inst.config.batch == 1 or inst.r_low <= 10.0
+            for inst in outcome.instances
+        )
+
+    def test_max_instances_bound(self, scheduler, resnet_fn):
+        outcome = scheduler.schedule(resnet_fn, 1e9, max_instances=3)
+        assert len(outcome.instances) == 3
+
+    def test_partial_fill_reports_leftover(self, scheduler, resnet_fn):
+        outcome = scheduler.schedule(resnet_fn, 1e9)
+        assert outcome.leftover_rps > 0  # cluster is finite
+        assert outcome.placed_capacity > 0
+
+    def test_allow_partial_false_raises_when_full(self, scheduler, resnet_fn):
+        scheduler.schedule(resnet_fn, 1e9)  # fill the cluster
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(resnet_fn, 1e6, allow_partial=False)
+
+    def test_overhead_recorded(self, scheduler, resnet_fn):
+        outcome = scheduler.schedule(resnet_fn, 500.0)
+        assert outcome.overhead_s > 0
+
+    def test_release_returns_resources(self, scheduler, resnet_fn):
+        outcome = scheduler.schedule(resnet_fn, 500.0)
+        for instance in outcome.instances:
+            scheduler.release(instance)
+        assert scheduler.cluster.total_used.is_zero()
+
+    def test_release_is_idempotent_on_placement(self, scheduler, resnet_fn):
+        outcome = scheduler.schedule(resnet_fn, 300.0)
+        instance = outcome.instances[0]
+        scheduler.release(instance)
+        scheduler.release(instance)  # second call is a no-op
+        assert instance.placement is None
+
+    def test_respects_model_max_batch(self, scheduler):
+        bert = FunctionSpec.for_model("bert-v1", slo_s=0.4)
+        outcome = scheduler.schedule(bert, 500.0)
+        assert all(
+            inst.config.batch <= bert.model.max_batch
+            for inst in outcome.instances
+        )
+
+    def test_tight_slo_still_schedulable_for_small_model(self, scheduler):
+        fn = FunctionSpec.for_model("mnist", slo_s=0.02)
+        outcome = scheduler.schedule(fn, 100.0)
+        assert outcome.leftover_rps == 0.0
+
+
+class TestDynamicBeta:
+    def test_beta_tracks_free_ratio(self, scheduler, resnet_fn):
+        start = scheduler._efficiency_beta()
+        assert start == pytest.approx(200 / 16)
+        # Exhaust most GPU: beta must fall (GPU scarce -> CPU cheap).
+        from repro.cluster.resources import ResourceVector
+
+        for server in scheduler.cluster.servers:
+            scheduler.cluster.allocate(
+                server.server_id, ResourceVector(gpu=100)
+            )
+        assert scheduler._efficiency_beta() < start
+
+    def test_static_beta_option(self, cluster, predictor):
+        scheduler = GreedyScheduler(cluster, predictor, dynamic_beta=False)
+        assert scheduler._efficiency_beta() == cluster.beta

@@ -1,0 +1,149 @@
+"""Property-based invariants of scheduling and dispatch."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import build_testbed_cluster
+from repro.core import FunctionSpec, GreedyScheduler
+from repro.core.dispatcher import plan_dispatch
+
+MODELS = ("resnet-50", "mobilenet", "lstm-2365", "ssd", "mnist")
+
+
+class TestSchedulerInvariants:
+    @given(
+        model=st.sampled_from(MODELS),
+        residual=st.floats(1.0, 5000.0),
+        slo_ms=st.sampled_from([50, 100, 200, 400]),
+    )
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_placements_match_cluster_accounting(
+        self, predictor, model, residual, slo_ms
+    ):
+        """Every placed instance's resources equal the cluster's books."""
+        cluster = build_testbed_cluster()
+        scheduler = GreedyScheduler(cluster, predictor)
+        function = FunctionSpec.for_model(model, slo_s=slo_ms / 1e3)
+        if slo_ms == 50 and model in ("resnet-50", "ssd"):
+            function = FunctionSpec.for_model(model, slo_s=0.2)
+        outcome = scheduler.schedule(function, residual)
+        total_cpu = sum(i.config.cpu for i in outcome.instances)
+        total_gpu = sum(i.config.gpu for i in outcome.instances)
+        assert cluster.total_used.cpu == total_cpu
+        assert cluster.total_used.gpu == total_gpu
+
+    @given(
+        model=st.sampled_from(MODELS),
+        residual=st.floats(1.0, 5000.0),
+    )
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_coverage_or_leftover(self, predictor, model, residual):
+        """Placed capacity covers the residual unless the cluster filled."""
+        cluster = build_testbed_cluster(num_servers=2)
+        scheduler = GreedyScheduler(cluster, predictor)
+        function = FunctionSpec.for_model(model, slo_s=0.2)
+        outcome = scheduler.schedule(function, residual)
+        if outcome.leftover_rps == 0:
+            assert outcome.placed_capacity >= residual - 1e-6
+        else:
+            assert outcome.placed_capacity + outcome.leftover_rps == pytest.approx(
+                residual
+            )
+
+    @given(
+        model=st.sampled_from(MODELS),
+        residual=st.floats(10.0, 3000.0),
+    )
+    @settings(
+        max_examples=20, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_every_instance_slo_feasible(self, predictor, model, residual):
+        """Every launched configuration satisfies Eq. 3/4 constraints."""
+        cluster = build_testbed_cluster()
+        scheduler = GreedyScheduler(cluster, predictor)
+        function = FunctionSpec.for_model(model, slo_s=0.2)
+        outcome = scheduler.schedule(function, residual)
+        for instance in outcome.instances:
+            if instance.config.batch == 1:
+                assert instance.t_exec_pred <= function.slo_s + 1e-9
+            else:
+                assert instance.t_exec_pred <= function.slo_s / 2 + 1e-9
+            assert instance.r_low <= instance.r_up
+
+    @given(residual=st.floats(1.0, 2000.0))
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_release_restores_cluster(self, predictor, residual):
+        cluster = build_testbed_cluster()
+        scheduler = GreedyScheduler(cluster, predictor)
+        function = FunctionSpec.for_model("mobilenet", slo_s=0.1)
+        outcome = scheduler.schedule(function, residual)
+        for instance in outcome.instances:
+            scheduler.release(instance)
+        assert cluster.total_used.is_zero()
+        assert not cluster.placements
+
+
+class TestDispatchInvariants:
+    @given(
+        rps=st.floats(0.0, 500.0),
+        t_execs=st.lists(st.floats(0.01, 0.09), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plan_never_overcommits_any_instance(self, rps, t_execs):
+        from repro.core.batching import rate_bounds
+        from repro.core.instance import Instance
+        from repro.profiling.configspace import InstanceConfig
+
+        function = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+        instances = [
+            Instance(
+                function=function,
+                config=InstanceConfig(batch=4, cpu=1, gpu=10),
+                t_exec_pred=t,
+                bounds=rate_bounds(t, 0.2, 4),
+            )
+            for t in t_execs
+        ]
+        plan = plan_dispatch(instances, rps)
+        for instance in instances:
+            rate = plan.rates.get(instance.instance_id, 0.0)
+            assert rate <= instance.r_up + 1e-6
+        assert plan.total_assigned <= rps + 1e-6
+        assert plan.residual_rps >= 0.0
+
+    @given(
+        rps=st.floats(0.0, 500.0),
+        t_execs=st.lists(st.floats(0.01, 0.09), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_assigned_plus_residual_covers_load(self, rps, t_execs):
+        from repro.core.batching import rate_bounds
+        from repro.core.instance import Instance
+        from repro.profiling.configspace import InstanceConfig
+
+        function = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+        instances = [
+            Instance(
+                function=function,
+                config=InstanceConfig(batch=4, cpu=1, gpu=10),
+                t_exec_pred=t,
+                bounds=rate_bounds(t, 0.2, 4),
+            )
+            for t in t_execs
+        ]
+        plan = plan_dispatch(instances, rps)
+        kept = [i for i in instances if i not in plan.to_release]
+        if kept:
+            assert plan.total_assigned + plan.residual_rps == pytest.approx(
+                rps, abs=1e-6
+            )

@@ -1,0 +1,206 @@
+"""Tests for the event loop, metrics and the serving runtime."""
+
+import pytest
+
+from repro.cluster import build_testbed_cluster
+from repro.core import FunctionSpec, INFlessEngine
+from repro.simulation import EventLoop, EventKind, MetricsCollector, ServingSimulation
+from repro.simulation.metrics import RequestRecord
+from repro.workloads import constant_trace
+
+
+class TestEventLoop:
+    def test_events_processed_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.on(EventKind.ARRIVAL, lambda e: seen.append(e.payload))
+        loop.schedule(2.0, EventKind.ARRIVAL, "b")
+        loop.schedule(1.0, EventKind.ARRIVAL, "a")
+        loop.schedule(3.0, EventKind.ARRIVAL, "c")
+        loop.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.on(EventKind.ARRIVAL, lambda e: seen.append(e.payload))
+        loop.schedule(1.0, EventKind.ARRIVAL, "first")
+        loop.schedule(1.0, EventKind.ARRIVAL, "second")
+        loop.run()
+        assert seen == ["first", "second"]
+
+    def test_past_events_clamp_to_now(self):
+        loop = EventLoop()
+        times = []
+        def handler(event):
+            times.append(loop.now)
+            if len(times) == 1:
+                loop.schedule(loop.now - 5.0, EventKind.ARRIVAL)
+        loop.on(EventKind.ARRIVAL, handler)
+        loop.schedule(10.0, EventKind.ARRIVAL)
+        loop.run()
+        assert times == [10.0, 10.0]
+
+    def test_run_until_horizon(self):
+        loop = EventLoop()
+        seen = []
+        loop.on(EventKind.ARRIVAL, lambda e: seen.append(loop.now))
+        for t in (1.0, 2.0, 3.0):
+            loop.schedule(t, EventKind.ARRIVAL)
+        loop.run(until=2.0)
+        assert seen == [1.0, 2.0]
+
+    def test_missing_handler_raises(self):
+        loop = EventLoop()
+        loop.schedule(0.0, EventKind.ARRIVAL)
+        with pytest.raises(RuntimeError):
+            loop.run()
+
+    def test_event_budget_enforced(self):
+        loop = EventLoop()
+        loop.on(EventKind.ARRIVAL, lambda e: loop.schedule(loop.now + 1, EventKind.ARRIVAL))
+        loop.schedule(0.0, EventKind.ARRIVAL)
+        with pytest.raises(RuntimeError):
+            loop.run(max_events=100)
+
+
+def record(arrival, completion, slo=0.2, fn="f", batch=4):
+    return RequestRecord(
+        function=fn,
+        arrival=arrival,
+        completion=completion,
+        cold_wait_s=0.0,
+        queue_wait_s=0.0,
+        exec_s=completion - arrival,
+        batch_size=batch,
+        config=(batch, 2, 20),
+        slo_s=slo,
+    )
+
+
+class TestMetricsCollector:
+    def test_violation_counting(self):
+        collector = MetricsCollector()
+        collector.record_completion(record(0.0, 0.1))      # meets 200 ms
+        collector.record_completion(record(0.0, 0.3))      # violates
+        report = collector.finalize(duration_s=1.0)
+        assert report.slo_violations == 1
+        assert report.violation_rate == pytest.approx(0.5)
+
+    def test_batch_histogram(self):
+        collector = MetricsCollector()
+        collector.record_completion(record(0.0, 0.1, batch=4))
+        collector.record_completion(record(0.0, 0.1, batch=8))
+        collector.record_completion(record(0.0, 0.1, batch=8))
+        report = collector.finalize(duration_s=1.0)
+        assert report.batch_histogram == {4: 1, 8: 2}
+
+    def test_warmup_filters_early_records(self):
+        collector = MetricsCollector()
+        collector.record_arrival(1.0)
+        collector.record_arrival(50.0)
+        collector.record_completion(record(1.0, 1.1))
+        collector.record_completion(record(50.0, 50.4))
+        report = collector.finalize(duration_s=100.0, warmup_s=30.0)
+        assert report.arrived == 1
+        assert report.completed == 1
+        assert report.slo_violations == 1
+
+    def test_usage_integration_sample_and_hold(self):
+        collector = MetricsCollector()
+        collector.record_usage(0.0, weighted=10.0, cpu=2, gpu=10, fragment_ratio=0.5)
+        collector.record_usage(10.0, weighted=20.0, cpu=4, gpu=20, fragment_ratio=0.5)
+        collector.record_usage(20.0, weighted=0.0, cpu=0, gpu=0, fragment_ratio=0.0)
+        report = collector.finalize(duration_s=20.0)
+        assert report.resource_time_weighted == pytest.approx(10 * 10 + 20 * 10)
+
+    def test_drop_rate(self):
+        collector = MetricsCollector()
+        for _ in range(8):
+            collector.record_arrival(1.0)
+        collector.record_drop(1.0)
+        collector.record_drop(2.0)
+        report = collector.finalize(duration_s=10.0)
+        assert report.drop_rate == pytest.approx(0.25)
+
+    def test_empty_report_is_safe(self):
+        report = MetricsCollector().finalize(duration_s=10.0)
+        assert report.completed == 0
+        assert report.violation_rate == 0.0
+        assert report.normalized_throughput == 0.0
+
+
+def build_sim(rps=200.0, duration=60.0, predictor=None, executor=None, **kwargs):
+    engine = INFlessEngine(build_testbed_cluster(), predictor=predictor)
+    fn = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+    engine.deploy(fn)
+    workload = {fn.name: constant_trace(rps, duration)}
+    return ServingSimulation(engine, executor, workload, seed=7, **kwargs), fn
+
+
+class TestServingSimulation:
+    def test_requests_conserved(self, predictor, executor):
+        sim, _fn = build_sim(predictor=predictor, executor=executor)
+        report = sim.run()
+        assert report.completed + report.dropped == report.arrived
+
+    def test_steady_state_meets_slo(self, predictor, executor):
+        sim, _fn = build_sim(predictor=predictor, executor=executor,
+                             warmup_s=20.0)
+        report = sim.run()
+        assert report.violation_rate < 0.05
+        assert report.drop_rate < 0.02
+
+    def test_latency_breakdown_consistent(self, predictor, executor):
+        sim, _fn = build_sim(predictor=predictor, executor=executor)
+        report = sim.run()
+        breakdown = (
+            report.mean_cold_wait_s + report.mean_queue_wait_s + report.mean_exec_s
+        )
+        assert breakdown == pytest.approx(report.latency_mean_s, rel=1e-6)
+
+    def test_batching_actually_used(self, predictor, executor):
+        sim, _fn = build_sim(predictor=predictor, executor=executor)
+        report = sim.run()
+        assert max(report.batch_histogram) > 1
+
+    def test_deterministic_given_seed(self, predictor, executor):
+        first, _ = build_sim(predictor=predictor, executor=executor)
+        second, _ = build_sim(predictor=predictor, executor=executor)
+        a = first.run()
+        b = second.run()
+        assert a.completed == b.completed
+        assert a.latency_mean_s == pytest.approx(b.latency_mean_s)
+
+    def test_oracle_rate_mode(self, predictor, executor):
+        sim, _fn = build_sim(predictor=predictor, executor=executor,
+                             rate_mode="oracle")
+        report = sim.run()
+        assert report.completed > 0
+
+    def test_invalid_rate_mode_rejected(self, predictor, executor):
+        with pytest.raises(ValueError):
+            build_sim(predictor=predictor, executor=executor, rate_mode="psychic")
+
+    def test_usage_sampled(self, predictor, executor):
+        sim, _fn = build_sim(predictor=predictor, executor=executor)
+        report = sim.run()
+        assert report.mean_weighted_usage > 0
+        assert report.resource_time_weighted > 0
+
+
+class TestReportSerialisation:
+    def test_to_dict_json_roundtrip(self):
+        import json
+
+        collector = MetricsCollector()
+        collector.record_arrival(0.0)
+        collector.record_completion(record(0.0, 0.1, batch=4))
+        report = collector.finalize(duration_s=1.0)
+        payload = report.to_dict()
+        text = json.dumps(payload)  # must be JSON-serialisable
+        restored = json.loads(text)
+        assert restored["completed"] == 1
+        assert restored["batch_histogram"] == {"4": 1}
+        assert "b4c2g20" in restored["config_histogram"]
+        assert restored["violation_rate"] == 0.0

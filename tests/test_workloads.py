@@ -1,0 +1,214 @@
+"""Tests for traces, generators, arrival sampling and applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    Application,
+    Trace,
+    build_osvt,
+    build_qa_robot,
+    bursty_trace,
+    coldstart_fleet_invocations,
+    constant_trace,
+    merge_arrival_streams,
+    periodic_trace,
+    production_traces,
+    sample_arrivals,
+    sporadic_trace,
+    timer_invocations,
+)
+from repro.workloads.arrivals import thin_arrivals
+
+
+class TestTrace:
+    def test_rps_at_indexing(self):
+        trace = Trace("t", step_s=2.0, rps=np.array([1.0, 3.0]))
+        assert trace.rps_at(0.5) == 1.0
+        assert trace.rps_at(2.1) == 3.0
+        assert trace.rps_at(4.1) == 0.0  # past the end
+        assert trace.rps_at(-1.0) == 0.0
+
+    def test_duration_and_mean(self):
+        trace = Trace("t", step_s=2.0, rps=np.array([1.0, 3.0]))
+        assert trace.duration_s == 4.0
+        assert trace.mean_rps == 2.0
+        assert trace.peak_rps == 3.0
+        assert trace.expected_requests() == 8.0
+
+    def test_scaled(self):
+        trace = constant_trace(10.0, 10.0).scaled(2.0)
+        assert trace.mean_rps == 20.0
+
+    def test_with_mean(self):
+        trace = periodic_trace(5.0, 1000.0).with_mean(50.0)
+        assert trace.mean_rps == pytest.approx(50.0)
+
+    def test_clipped(self):
+        trace = constant_trace(10.0, 10.0).clipped(4.0)
+        assert trace.peak_rps == 4.0
+
+    def test_slice(self):
+        trace = Trace("t", 1.0, np.arange(10, dtype=float))
+        part = trace.slice(2.0, 5.0)
+        assert list(part.rps) == [2.0, 3.0, 4.0]
+
+    def test_invalid_slice(self):
+        trace = constant_trace(1.0, 10.0)
+        with pytest.raises(ValueError):
+            trace.slice(5.0, 3.0)
+
+    def test_negative_rps_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", 1.0, np.array([-1.0]))
+
+    def test_empty_rps_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", 1.0, np.array([]))
+
+
+class TestGenerators:
+    def test_constant_is_flat(self):
+        trace = constant_trace(7.0, 60.0)
+        assert trace.peak_rps == trace.mean_rps == 7.0
+
+    def test_periodic_preserves_mean(self):
+        trace = periodic_trace(20.0, 86400.0, seed=1)
+        assert trace.mean_rps == pytest.approx(20.0, rel=0.05)
+
+    def test_periodic_has_diurnal_swing(self):
+        trace = periodic_trace(20.0, 86400.0, relative_amplitude=0.6, seed=1)
+        assert trace.peak_rps > 1.4 * trace.mean_rps
+
+    def test_bursty_renormalised_mean(self):
+        trace = bursty_trace(20.0, 86400.0, seed=2)
+        assert trace.mean_rps == pytest.approx(20.0, rel=1e-6)
+
+    def test_bursty_has_spikes(self):
+        trace = bursty_trace(20.0, 86400.0, seed=2)
+        assert trace.peak_rps > 2.0 * trace.mean_rps
+
+    def test_sporadic_mostly_idle(self):
+        trace = sporadic_trace(1.0, 86400.0, active_fraction=0.1, seed=3)
+        idle_fraction = float(np.mean(trace.rps == 0.0))
+        assert idle_fraction > 0.5
+
+    def test_generators_deterministic(self):
+        a = bursty_trace(20.0, 3600.0, seed=5)
+        b = bursty_trace(20.0, 3600.0, seed=5)
+        assert np.array_equal(a.rps, b.rps)
+
+    def test_different_seeds_differ(self):
+        a = bursty_trace(20.0, 3600.0, seed=5)
+        b = bursty_trace(20.0, 3600.0, seed=6)
+        assert not np.array_equal(a.rps, b.rps)
+
+    def test_production_traces_trio(self):
+        traces = production_traces(10.0, duration_s=3600.0)
+        assert set(traces) == {"sporadic", "periodic", "bursty"}
+
+    def test_timer_invocations_regular(self):
+        times = timer_invocations(600.0, 86400.0, jitter_frac=0.01, seed=1)
+        gaps = np.diff(times)
+        assert np.all(gaps > 0.9 * 600.0)
+        assert np.all(gaps < 1.1 * 600.0)
+
+    def test_timer_spikes_add_arrivals(self):
+        quiet = timer_invocations(600.0, 86400.0, seed=1)
+        spiky = timer_invocations(
+            600.0, 86400.0, spike_every_s=3600.0, spike_rate=0.2, seed=1
+        )
+        assert len(spiky) > len(quiet)
+
+    def test_timer_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            timer_invocations(0.0)
+
+    def test_coldstart_fleet_shape(self):
+        fleet = coldstart_fleet_invocations(num_diurnal=2, num_sporadic=1,
+                                            num_bursty=1, num_timer=2,
+                                            duration_s=86400.0)
+        assert len(fleet) == 6
+        for times in fleet.values():
+            arr = np.asarray(times)
+            assert np.all(np.diff(arr) >= 0)
+
+
+class TestArrivalSampling:
+    def test_counts_match_expectation(self):
+        trace = constant_trace(100.0, 100.0)
+        rng = np.random.default_rng(0)
+        arrivals = sample_arrivals(trace, rng)
+        assert len(arrivals) == pytest.approx(10_000, rel=0.05)
+
+    def test_sorted_within_bounds(self):
+        trace = periodic_trace(10.0, 600.0, seed=1)
+        arrivals = sample_arrivals(trace, np.random.default_rng(0))
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals.min() >= 0
+        assert arrivals.max() < trace.duration_s
+
+    def test_request_budget_enforced(self):
+        trace = constant_trace(1e6, 100.0)
+        with pytest.raises(ValueError):
+            sample_arrivals(trace, np.random.default_rng(0), max_requests=1000)
+
+    def test_merge_streams_sorted(self):
+        merged = merge_arrival_streams({"a": np.array([3.0, 1.0]),
+                                        "b": np.array([2.0])})
+        assert merged == [(1.0, "a"), (2.0, "b"), (3.0, "a")]
+
+    def test_thinning(self):
+        rng = np.random.default_rng(0)
+        kept = thin_arrivals(np.arange(10_000.0), 0.25, rng)
+        assert len(kept) == pytest.approx(2500, rel=0.1)
+
+    def test_thinning_validates_fraction(self):
+        with pytest.raises(ValueError):
+            thin_arrivals([1.0], 1.5, np.random.default_rng(0))
+
+    @given(rate=st.floats(0.5, 50.0), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_sampling_respects_poisson_mean(self, rate, seed):
+        trace = constant_trace(rate, 200.0)
+        arrivals = sample_arrivals(trace, np.random.default_rng(seed))
+        expected = rate * 200.0
+        assert abs(len(arrivals) - expected) < 6 * np.sqrt(expected) + 1
+
+
+class TestApplications:
+    def test_osvt_members(self):
+        app = build_osvt()
+        assert app.slo_s == 0.2
+        models = {fn.model.name for fn in app.functions}
+        assert models == {"ssd", "mobilenet", "resnet-50"}
+
+    def test_qa_members(self):
+        app = build_qa_robot()
+        assert app.slo_s == 0.05
+        models = {fn.model.name for fn in app.functions}
+        assert models == {"textcnn-69", "lstm-2365", "dssm-2389"}
+
+    def test_default_equal_shares(self):
+        app = build_osvt()
+        assert app.shares == (pytest.approx(1 / 3),) * 3
+
+    def test_rps_split(self):
+        app = build_osvt()
+        split = app.rps_split(300.0)
+        assert sum(split.values()) == pytest.approx(300.0)
+
+    def test_custom_shares_normalised(self):
+        app = build_osvt()
+        custom = Application("x", app.functions, shares=(2.0, 1.0, 1.0))
+        assert custom.shares[0] == pytest.approx(0.5)
+
+    def test_mismatched_shares_rejected(self):
+        app = build_osvt()
+        with pytest.raises(ValueError):
+            Application("x", app.functions, shares=(1.0,))
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ValueError):
+            Application("x", functions=[])
