@@ -15,7 +15,7 @@ The paper isolates each technique's contribution by disabling it:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.capacity import CapacityResult, stress_fill_infless
 from repro.cluster.cluster import Cluster

@@ -6,7 +6,7 @@ these helpers so that EXPERIMENTS.md and the bench output line up.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+from typing import Dict, Sequence, Union
 
 Number = Union[int, float]
 

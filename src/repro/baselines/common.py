@@ -24,6 +24,7 @@ from repro.core.function import FunctionSpec
 from repro.core.instance import Instance, InstanceState
 from repro.profiling.configspace import InstanceConfig
 from repro.profiling.predictor import LatencyPredictor
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -82,6 +83,9 @@ class UniformScalingPlatform:
         self._active: Dict[str, List[Instance]] = {}
         self._warm: Dict[str, List[_WarmEntry]] = {}
         self._rng = np.random.default_rng(seed)
+        #: telemetry hooks, so baselines emit traces comparable to
+        #: INFless's (attached by the serving runtime when recording).
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # to be provided by subclasses
@@ -229,18 +233,32 @@ class UniformScalingPlatform:
         def capacity() -> float:
             return sum(inst.r_up for inst in active)
 
+        shortfall_rps = max(0.0, required - capacity())
         while capacity() < required:
             instance = self._reclaim_warm(name, config, now)
             if instance is not None:
                 self.stats.warm_reuses += 1
+                action.reclaimed += 1
             else:
                 instance = self._make_instance(function, config, now)
                 if instance is None:
                     break  # cluster full
                 self.stats.cold_starts += 1
                 action.launched += 1
+                if self.tracer.enabled:
+                    self.tracer.cold_start(
+                        name,
+                        instance.instance_id,
+                        now,
+                        instance.ready_at,
+                        (config.batch, config.cpu, config.gpu),
+                    )
             self.stats.launches += 1
             active.append(instance)
+        if self.tracer.enabled and (action.launched or action.reclaimed):
+            self.tracer.scale_up(
+                name, now, action.launched, action.reclaimed, shortfall_rps
+            )
 
         # Scale in while the remaining fleet still covers the load.
         while len(active) > (1 if rps > 0 else 0):
@@ -250,6 +268,8 @@ class UniformScalingPlatform:
             active.remove(victim)
             self._retire(name, victim, now)
             action.released += 1
+        if self.tracer.enabled and action.released:
+            self.tracer.scale_down(name, now, action.released)
         action.target = len(active)
 
         share = rps / len(active) if active else 0.0

@@ -20,8 +20,6 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.models.zoo import ModelSpec
 from repro.ops.costmodel import proportional_cpu_quota
 from repro.profiling.executor import GroundTruthExecutor

@@ -5,16 +5,20 @@ Usage::
     python -m repro.cli list-models
     python -m repro.cli predict --model resnet-50 --batch 8 --cpu 2 --gpu 20
     python -m repro.cli capacity --app osvt --servers 8
-    python -m repro.cli simulate --model resnet-50 --rps 300 --duration 120
+    python -m repro.cli simulate --model resnet-50 --rps 300 --duration 120 \\
+        --trace-out run.jsonl --timeline-out run.csv --output json
+    python -m repro.cli trace-summary run.jsonl
     python -m repro.cli coldstart --days 2
 
-Every subcommand prints a small table; the heavier experiment harness
-lives under ``benchmarks/``.
+Every subcommand prints a small table (or JSON with ``--output
+json``); the heavier experiment harness lives under ``benchmarks/``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -32,6 +36,17 @@ from repro.core import (
 from repro.models import list_models
 from repro.profiling import GroundTruthExecutor, build_default_predictor
 from repro.simulation import ServingSimulation, compare_policies
+from repro.telemetry import (
+    SUMMARY_HEADER,
+    InMemoryTracer,
+    TimelineRecorder,
+    read_jsonl,
+    summarize_events,
+    summary_rows,
+    write_chrome_trace,
+    write_jsonl,
+    write_timeline_csv,
+)
 from repro.workloads import (
     build_osvt,
     build_qa_robot,
@@ -102,19 +117,60 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    # Fail on unwritable export paths before spending time simulating.
+    for path in (args.trace_out, args.chrome_trace_out, args.timeline_out):
+        if path:
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                print(f"cannot write {path}: no such directory {parent!r}",
+                      file=sys.stderr)
+                return 1
     predictor = build_default_predictor()
     engine = INFlessEngine(
         build_testbed_cluster(num_servers=args.servers), predictor=predictor
     )
     function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
     engine.deploy(function)
+    tracing = bool(args.trace_out or args.chrome_trace_out)
+    tracer = InMemoryTracer() if tracing else None
+    timeline = (
+        TimelineRecorder()
+        if args.timeline_out or args.chrome_trace_out
+        else None
+    )
     report = ServingSimulation(
         platform=engine,
         executor=GroundTruthExecutor(),
         workload={function.name: constant_trace(args.rps, args.duration)},
         warmup_s=min(20.0, args.duration / 4),
+        tracer=tracer,
+        timeline=timeline,
         seed=args.seed,
     ).run()
+    if args.trace_out:
+        lines = write_jsonl(tracer.events, args.trace_out)
+        print(f"wrote {lines} trace events to {args.trace_out}", file=sys.stderr)
+    if args.chrome_trace_out:
+        count = write_chrome_trace(
+            tracer.events, args.chrome_trace_out, timeline=timeline
+        )
+        print(
+            f"wrote {count} chrome://tracing events to {args.chrome_trace_out}",
+            file=sys.stderr,
+        )
+    if args.timeline_out:
+        rows = write_timeline_csv(timeline, args.timeline_out)
+        print(f"wrote {rows} timeline rows to {args.timeline_out}", file=sys.stderr)
+    if args.output == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    drop_reasons = (
+        ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(report.drop_reasons.items())
+        )
+        or "-"
+    )
     print(format_table(
         ["metric", "value"],
         [
@@ -122,12 +178,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ["achieved RPS", f"{report.achieved_rps:.1f}"],
             ["SLO violations", f"{report.violation_rate:.2%}"],
             ["drops", f"{report.drop_rate:.2%}"],
+            ["drop reasons", drop_reasons],
             ["mean latency", f"{report.latency_mean_s * 1e3:.1f} ms"],
             ["p99 latency", f"{report.latency_p99_s * 1e3:.1f} ms"],
             ["batch sizes", dict(sorted(report.batch_histogram.items()))],
             ["thpt/resource", f"{report.normalized_throughput:.2f}"],
         ],
     ))
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    """Latency-decomposition breakdown of an exported JSONL trace."""
+    try:
+        events = read_jsonl(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace {args.trace}: {exc.strerror or exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{args.trace} is not JSONL: {exc}", file=sys.stderr)
+        return 1
+    summaries = summarize_events(events)
+    if not summaries:
+        print(f"no completion or drop events in {args.trace}")
+        return 1
+    if args.output == "json":
+        payload = {
+            name: {
+                "completed": s.completed,
+                "violations": s.violations,
+                "drops": dict(sorted(s.drops.items())),
+                "decomposition_s": s.decomposition(),
+                "mean_latency_s": s.mean("latency_s"),
+                "p95_latency_s": s.p95_latency_s(),
+            }
+            for name, s in summaries.items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(format_table(SUMMARY_HEADER, summary_rows(summaries)))
     return 0
 
 
@@ -209,6 +298,31 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--slo-ms", type=float, default=200.0)
     simulate.add_argument("--servers", type=int, default=8)
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--output", choices=("table", "json"), default="table",
+        help="report format: human table or machine-readable JSON",
+    )
+    simulate.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the per-request JSONL trace here",
+    )
+    simulate.add_argument(
+        "--chrome-trace-out", metavar="PATH",
+        help="write a chrome://tracing / Perfetto trace_event file here",
+    )
+    simulate.add_argument(
+        "--timeline-out", metavar="PATH",
+        help="write the per-tick metrics timeline CSV here",
+    )
+
+    trace_summary = sub.add_parser(
+        "trace-summary",
+        help="latency-decomposition breakdown of a JSONL trace",
+    )
+    trace_summary.add_argument("trace", help="JSONL trace from --trace-out")
+    trace_summary.add_argument(
+        "--output", choices=("table", "json"), default="table"
+    )
 
     coldstart = sub.add_parser("coldstart", help="keep-alive policy study")
     coldstart.add_argument("--days", type=float, default=2.0)
@@ -228,6 +342,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "capacity": _cmd_capacity,
     "simulate": _cmd_simulate,
+    "trace-summary": _cmd_trace_summary,
     "coldstart": _cmd_coldstart,
     "plan": _cmd_plan,
 }

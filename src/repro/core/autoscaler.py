@@ -18,13 +18,14 @@ warm pool governed by the cold-start policy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.core.coldstart import ColdStartDecision, KeepAlivePolicy
+from repro.core.coldstart import KeepAlivePolicy
 from repro.core.dispatcher import ALPHA_DEFAULT, DispatchPlan, plan_dispatch
 from repro.core.function import FunctionSpec
 from repro.core.instance import Instance, InstanceState
 from repro.core.scheduler import GreedyScheduler
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -90,6 +91,8 @@ class AutoScaler:
         self._active: Dict[str, List[Instance]] = {}
         self._warm: Dict[str, List[WarmPoolEntry]] = {}
         self.stats = ScalingStats()
+        #: telemetry hooks; no-op unless a recording tracer is attached.
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # views
@@ -268,10 +271,14 @@ class AutoScaler:
         self.expire_warm_pool(now)
         active = self._active.setdefault(function.name, [])
         plan = plan_dispatch(active, rps, alpha=self.alpha, beta=self.scheduler.cluster.beta)
+        if self.tracer.enabled:
+            self.tracer.dispatch_planned(function.name, now, plan.trace_args())
 
         for instance in plan.to_release:
             active.remove(instance)
             self._retire(function, instance, now)
+        if plan.to_release and self.tracer.enabled:
+            self.tracer.scale_down(function.name, now, len(plan.to_release))
 
         launched: List[Instance] = []
         reclaimed: List[Instance] = []
@@ -288,7 +295,21 @@ class AutoScaler:
                 for instance in launched:
                     instance.ready_at = now + function.model.cold_start_s
                     self.stats.cold_starts += 1
+                    if self.tracer.enabled:
+                        config = instance.config
+                        self.tracer.cold_start(
+                            function.name,
+                            instance.instance_id,
+                            now,
+                            instance.ready_at,
+                            (config.batch, config.cpu, config.gpu),
+                        )
             self.stats.launches += len(launched) + len(reclaimed)
+            if self.tracer.enabled and (launched or reclaimed):
+                self.tracer.scale_up(
+                    function.name, now, len(launched), len(reclaimed),
+                    plan.residual_rps,
+                )
             active.extend(reclaimed)
             active.extend(launched)
             # Re-plan shares over the enlarged instance set.

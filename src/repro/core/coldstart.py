@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Optional, Protocol
 
 from repro.core.histogram import IdleTimeHistogram
+from repro.telemetry.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,7 @@ class FixedKeepAlive:
             raise ValueError("keepalive must be non-negative")
         self.keepalive_s = keepalive_s
         self.name = f"fixed-{int(keepalive_s)}s"
+        self.tracer = NULL_TRACER  # fixed windows emit nothing; attachable
 
     def record_invocation(self, function_name: str, now: float) -> None:
         """Fixed policies ignore the invocation history."""
@@ -119,6 +121,8 @@ class WindowedKeepAlive:
         self._last_invocation: dict = {}
         self._histograms: dict = {}
         self._decision_cache: dict = {}
+        #: telemetry hooks; recomputed window decisions are traced.
+        self.tracer = NULL_TRACER
 
     def _new_histograms(self):
         raise NotImplementedError
@@ -146,6 +150,9 @@ class WindowedKeepAlive:
                 return decision
         decision = self._compute_windows(function_name, now)
         self._decision_cache[function_name] = (now, decision)
+        self.tracer.coldstart_decision(
+            function_name, now, decision.prewarm_s, decision.keepalive_s
+        )
         return decision
 
     def _compute_windows(self, function_name: str, now: float) -> ColdStartDecision:

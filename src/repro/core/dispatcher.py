@@ -52,6 +52,16 @@ class DispatchPlan:
     def total_assigned(self) -> float:
         return sum(self.rates.values())
 
+    def trace_args(self) -> Dict[str, object]:
+        """The flat view telemetry records per control step."""
+        return {
+            "case": self.case,
+            "assigned": len(self.rates),
+            "total_assigned": self.total_assigned,
+            "residual_rps": self.residual_rps,
+            "to_release": len(self.to_release),
+        }
+
 
 def _lower_trigger(r_min: float, r_max: float, alpha: float) -> float:
     """The case (ii)/(iii) boundary ``alpha*R_min + (1-alpha)*R_max``."""

@@ -16,7 +16,7 @@ serving library (section 3.5), so it scales with model size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.ops.costmodel import max_batch_for_model

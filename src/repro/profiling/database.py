@@ -13,7 +13,7 @@ import bisect
 import json
 from collections import defaultdict
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.ops.operator import OperatorProfile
 

@@ -8,7 +8,7 @@ paper: ``l = t_cold + t_batch + t_exec``.
 """
 
 from repro.simulation.events import Event, EventKind
-from repro.simulation.engine import EventLoop
+from repro.simulation.engine import EventBudgetExceeded, EventLoop
 from repro.simulation.metrics import MetricsCollector, RequestRecord, SimulationReport
 from repro.simulation.platform import ServingPlatform
 from repro.simulation.runtime import ServingSimulation, Request
@@ -30,6 +30,7 @@ from repro.simulation.largescale import (
 __all__ = [
     "Event",
     "EventKind",
+    "EventBudgetExceeded",
     "EventLoop",
     "MetricsCollector",
     "RequestRecord",

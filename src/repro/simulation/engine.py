@@ -11,6 +11,24 @@ from repro.simulation.events import Event, EventKind
 Handler = Callable[[Event], None]
 
 
+class EventBudgetExceeded(RuntimeError):
+    """The event budget ran out before the heap drained.
+
+    Carries where the loop stopped so callers can salvage partial
+    metrics (the collector holds everything processed up to ``now``)
+    instead of losing the whole run.
+    """
+
+    def __init__(self, now: float, processed: int, budget: int) -> None:
+        super().__init__(
+            f"event budget of {budget} exhausted at t={now:.3f}s"
+            f" after {processed} events"
+        )
+        self.now = now
+        self.processed = processed
+        self.budget = budget
+
+
 class EventLoop:
     """Event heap with per-kind handlers.
 
@@ -47,9 +65,7 @@ class EventLoop:
             if until is not None and self._heap[0].time > until:
                 break
             if self.processed >= max_events:
-                raise RuntimeError(
-                    f"event budget of {max_events} exhausted at t={self.now:.3f}s"
-                )
+                raise EventBudgetExceeded(self.now, self.processed, max_events)
             event = heapq.heappop(self._heap)
             self.now = event.time
             handler = self._handlers.get(event.kind)

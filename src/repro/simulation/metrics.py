@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -75,6 +75,9 @@ class SimulationReport:
     #: CPU/GPU core-seconds for the Table 4 cost model.
     cpu_core_seconds: float
     gpu_seconds: float
+    #: drop reason -> count (queue_full / no_capacity / slo_unreachable
+    #: / server_failure); sums to ``dropped``.
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
     def violation_rate(self) -> float:
@@ -119,7 +122,7 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.records: List[RequestRecord] = []
         self._arrival_times: List[float] = []
-        self._drop_times: List[float] = []
+        self._drops: List[Tuple[float, str]] = []  # (time, reason)
         self.scheduling_overhead_s = 0.0
         self._usage_samples: List[Tuple[float, float]] = []  # (time, weighted)
         self._cpu_samples: List[Tuple[float, float]] = []
@@ -132,8 +135,8 @@ class MetricsCollector:
     def record_arrival(self, now: float = 0.0) -> None:
         self._arrival_times.append(now)
 
-    def record_drop(self, now: float = 0.0) -> None:
-        self._drop_times.append(now)
+    def record_drop(self, now: float = 0.0, reason: str = "unspecified") -> None:
+        self._drops.append((now, reason))
 
     @property
     def arrived(self) -> int:
@@ -141,7 +144,11 @@ class MetricsCollector:
 
     @property
     def dropped(self) -> int:
-        return len(self._drop_times)
+        return len(self._drops)
+
+    @property
+    def drop_reasons(self) -> Dict[str, int]:
+        return dict(Counter(reason for _t, reason in self._drops))
 
     def record_completion(self, record: RequestRecord) -> None:
         self.records.append(record)
@@ -198,7 +205,9 @@ class MetricsCollector:
         """
         records = [r for r in self.records if r.arrival >= warmup_s]
         arrived = sum(1 for t in self._arrival_times if t >= warmup_s)
-        dropped = sum(1 for t in self._drop_times if t >= warmup_s)
+        kept_drops = [(t, reason) for t, reason in self._drops if t >= warmup_s]
+        dropped = len(kept_drops)
+        drop_reasons = Counter(reason for _t, reason in kept_drops)
         usage_samples = [s for s in self._usage_samples if s[0] >= warmup_s]
         cpu_samples = [s for s in self._cpu_samples if s[0] >= warmup_s]
         gpu_samples = [s for s in self._gpu_samples if s[0] >= warmup_s]
@@ -259,4 +268,5 @@ class MetricsCollector:
             reserved_idle_resource_s=reserved_idle_resource_s,
             cpu_core_seconds=self._integrate(cpu_samples),
             gpu_seconds=self._integrate(gpu_samples) / 100.0,
+            drop_reasons=dict(drop_reasons),
         )

@@ -17,7 +17,14 @@ from repro.core.instance import Instance
 
 @runtime_checkable
 class ServingPlatform(Protocol):
-    """What the runtime expects from a serving platform."""
+    """What the runtime expects from a serving platform.
+
+    Telemetry: platforms need not declare anything here, but when the
+    runtime runs with a recording tracer it attaches the tracer to the
+    platform (and to its ``autoscaler``/``policy`` components when
+    present) via :func:`repro.telemetry.attach_tracer`, so control-plane
+    decisions land in the same trace as the request lifecycle.
+    """
 
     cluster: Cluster
 

@@ -35,6 +35,16 @@ from repro.simulation.engine import EventLoop
 from repro.simulation.events import Event, EventKind
 from repro.simulation.metrics import MetricsCollector, RequestRecord, SimulationReport
 from repro.simulation.platform import ServingPlatform
+from repro.telemetry import (
+    DROP_NO_CAPACITY,
+    DROP_QUEUE_FULL,
+    DROP_SERVER_FAILURE,
+    DROP_SLO_UNREACHABLE,
+    NULL_TRACER,
+    TimelineRecorder,
+    Tracer,
+    attach_tracer,
+)
 from repro.workloads.arrivals import sample_arrivals
 from repro.workloads.trace import Trace
 
@@ -68,6 +78,8 @@ class _BatchInFlight:
     requests: list
     start: float
     exec_s: float
+    #: tracer-assigned batch id (0 with the null tracer).
+    batch_id: int = 0
 
 
 class ServingSimulation:
@@ -92,6 +104,12 @@ class ServingSimulation:
             SLO applies end to end and only the final stage records a
             completion. Workload traces drive the chain's entry
             functions only.
+        tracer: telemetry hooks; the default null tracer records
+            nothing and costs one no-op call per hook site.  The tracer
+            is also attached to the platform's control-plane components
+            so scale/cold-start decisions land in the same trace.
+        timeline: optional per-control-tick metrics recorder (queue
+            depths, instance counts, RPS estimate vs. oracle, usage).
         seed: randomness for arrival sampling, routing noise and
             execution-time noise.
     """
@@ -109,6 +127,8 @@ class ServingSimulation:
         warmup_s: float = 0.0,
         chains: Optional[Dict[str, str]] = None,
         end_to_end_slo_s: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
+        timeline: Optional[TimelineRecorder] = None,
         seed: int = 42,
     ) -> None:
         if rate_mode not in ("measured", "oracle"):
@@ -137,6 +157,10 @@ class ServingSimulation:
         self._managed = list(
             dict.fromkeys(list(workload) + list(self.chains.values()))
         )
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            attach_tracer(platform, self.tracer)
+        self.timeline = timeline
         self._rng = np.random.default_rng(seed)
         self.loop = EventLoop()
         self.metrics = MetricsCollector()
@@ -180,18 +204,30 @@ class ServingSimulation:
     def _on_arrival(self, event: Event) -> None:
         request: Request = event.payload
         self.metrics.record_arrival(self.loop.now)
+        self.tracer.request_arrived(
+            request.request_id, request.function, self.loop.now
+        )
         self._arrivals_since_tick[request.function] += 1
         self.platform.record_invocation(request.function, self.loop.now)
         self._dispatch(request)
+
+    def _drop(self, request: Request, reason: str) -> None:
+        self.metrics.record_drop(self.loop.now, reason)
+        self.tracer.request_dropped(
+            request.request_id, request.function, self.loop.now, reason
+        )
 
     def _dispatch(self, request: Request) -> None:
         instance = self.platform.route(request.function, self.loop.now)
         if instance is None:
             pending = self._pending[request.function]
             if len(pending) >= self.pending_cap:
-                self.metrics.record_drop(self.loop.now)
+                self._drop(request, DROP_NO_CAPACITY)
                 return
             pending.append(request)
+            self.tracer.request_parked(
+                request.request_id, request.function, self.loop.now
+            )
             return
         self._enqueue(instance, request)
 
@@ -207,13 +243,28 @@ class ServingSimulation:
             # requests are dropped.
             depth = getattr(self.platform, "waiting_batches", 2)
             if instance.busy and len(queue) >= batch * depth:
-                self.metrics.record_drop(self.loop.now)
+                self._drop(request, DROP_QUEUE_FULL)
                 return
         else:
             if len(queue) >= batch * self.cold_queue_batches:
-                self.metrics.record_drop(self.loop.now)
+                # Same overflow rule, but classify hopeless waits: when
+                # the pending cold start alone already blows the SLO the
+                # drop was inevitable regardless of queue depth.
+                reason = (
+                    DROP_SLO_UNREACHABLE
+                    if instance.ready_at - request.origin > request.slo_s
+                    else DROP_QUEUE_FULL
+                )
+                self._drop(request, reason)
                 return
         queue.enqueue(request, now)
+        self.tracer.request_enqueued(
+            request.request_id,
+            request.function,
+            instance.instance_id,
+            now,
+            not ready,
+        )
         self._maybe_start(instance)
 
     # ------------------------------------------------------------------
@@ -258,8 +309,20 @@ class ServingSimulation:
             instance.config.gpu,
             rng=self._rng,
         )
+        batch_id = 0
+        if self.tracer.enabled:
+            config = instance.config
+            batch_id = self.tracer.batch_started(
+                instance.instance_id,
+                instance.function.name,
+                [r.request_id for r in requests],
+                now,
+                exec_s,
+                (config.batch, config.cpu, config.gpu),
+            )
         batch = _BatchInFlight(
-            instance=instance, requests=requests, start=now, exec_s=exec_s
+            instance=instance, requests=requests, start=now, exec_s=exec_s,
+            batch_id=batch_id,
         )
         self.loop.schedule(now + exec_s, EventKind.BATCH_COMPLETE, batch)
 
@@ -273,8 +336,8 @@ class ServingSimulation:
             and instance.placement is None
         ):
             # The server died mid-execution: the in-flight batch is lost.
-            for _request in batch.requests:
-                self.metrics.record_drop(now)
+            for request in batch.requests:
+                self._drop(request, DROP_SERVER_FAILURE)
             instance.busy = False
             return
         for request in batch.requests:
@@ -299,6 +362,21 @@ class ServingSimulation:
                     slo_s=request.slo_s,
                 )
             )
+            if self.tracer.enabled:
+                self.tracer.request_completed(
+                    request.request_id,
+                    request.function,
+                    instance.instance_id,
+                    batch.batch_id,
+                    request.origin,
+                    now,
+                    cold_wait,
+                    max(0.0, now - request.origin - cold_wait - batch.exec_s),
+                    batch.exec_s,
+                    len(batch.requests),
+                    (config.batch, config.cpu, config.gpu),
+                    request.slo_s,
+                )
         instance.busy = False
         if instance.queue.is_empty:
             instance.idle_since = now
@@ -319,6 +397,7 @@ class ServingSimulation:
                 f"{type(self.platform).__name__} cannot handle server failures"
             )
         lost = handler(server_id, self.loop.now)
+        self.tracer.server_failure(self.loop.now, server_id, len(lost))
         # Queued (not yet executing) requests survived in the gateway:
         # re-dispatch them to the remaining instances.
         for instance in lost:
@@ -359,6 +438,7 @@ class ServingSimulation:
 
     def _on_control_tick(self, event: Event) -> None:
         now = self.loop.now
+        self.tracer.control_tick(now, len(self._managed))
         for name in self._managed:
             rate = self._estimate_rate(name)
             action = self.platform.control(name, rate, now)
@@ -366,6 +446,8 @@ class ServingSimulation:
             if overhead:
                 self.metrics.record_scheduling_overhead(overhead)
             self._drain_pending(name)
+            if self.timeline is not None:
+                self._sample_timeline(name, rate, action, now)
         self._sample_usage(now)
         next_tick = now + self.control_interval_s
         if next_tick <= self._horizon:
@@ -378,6 +460,38 @@ class ServingSimulation:
             if instance is None:
                 return
             self._enqueue(instance, pending.popleft())
+
+    def _sample_timeline(
+        self, name: str, rate: float, action: object, now: float
+    ) -> None:
+        """One timeline row for one function at one control tick."""
+        instances = self.platform.instances(name)
+        live = sum(1 for inst in instances if now >= inst.ready_at)
+        launching = len(instances) - live
+        queue_depth = sum(
+            len(inst.queue) for inst in instances if inst.queue is not None
+        )
+        oracle = (
+            self.workload[name].rps_at(now) if name in self.workload else ""
+        )
+        warm_pool = getattr(
+            getattr(self.platform, "autoscaler", None), "warm_pool", None
+        )
+        self.timeline.sample(
+            t=now,
+            function=name,
+            rate_estimate=rate,
+            oracle_rps=oracle,
+            pending=len(self._pending[name]),
+            queue_depth=queue_depth,
+            live_instances=live,
+            launching_instances=launching,
+            warm_pool=len(warm_pool(name)) if warm_pool is not None else "",
+            weighted_usage=self.platform.cluster.weighted_used(),
+            dispatch_case=getattr(
+                getattr(action, "plan", None), "case", ""
+            ),
+        )
 
     def _sample_usage(self, now: float) -> None:
         cluster = self.platform.cluster

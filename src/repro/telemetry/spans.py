@@ -1,0 +1,153 @@
+"""The telemetry data model: flat trace events and derived spans.
+
+Everything the tracer records is a :class:`TraceEvent` -- a sim-time
+timestamp, a kind string and a flat argument dict.  Request *spans*
+(``cold_wait -> batch_wait -> exec``) are not tracked live; they are
+reconstructed from ``request_complete`` events, whose latency
+decomposition (``l = t_cold + t_batch + t_exec``) pins each phase's
+boundaries exactly.  This keeps the hot path to one append per hook
+and makes the span invariant trivially true by construction *of the
+export*, while the tests check it against the runtime's own records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+# ---------------------------------------------------------------------------
+# drop reasons (satellite: replaces the bare `dropped` count)
+# ---------------------------------------------------------------------------
+#: the instance's bounded waiting-batch queue overflowed (Fig. 6a rule).
+DROP_QUEUE_FULL = "queue_full"
+#: no instance exists and the per-function pending queue is at capacity.
+DROP_NO_CAPACITY = "no_capacity"
+#: dropped while queued behind a cold start that already exceeds the SLO.
+DROP_SLO_UNREACHABLE = "slo_unreachable"
+#: the serving machine died with the batch in flight.
+DROP_SERVER_FAILURE = "server_failure"
+
+DROP_REASONS = (
+    DROP_QUEUE_FULL,
+    DROP_NO_CAPACITY,
+    DROP_SLO_UNREACHABLE,
+    DROP_SERVER_FAILURE,
+)
+
+
+# ---------------------------------------------------------------------------
+# event kinds
+# ---------------------------------------------------------------------------
+REQUEST_ARRIVAL = "request_arrival"
+REQUEST_PARKED = "request_parked"
+REQUEST_ENQUEUED = "request_enqueued"
+REQUEST_DROP = "request_drop"
+REQUEST_COMPLETE = "request_complete"
+BATCH_START = "batch_start"
+CONTROL_TICK = "control_tick"
+DISPATCH_PLAN = "dispatch_plan"
+SCALE_UP = "scale_up"
+SCALE_DOWN = "scale_down"
+COLD_START = "cold_start"
+COLDSTART_DECISION = "coldstart_decision"
+SERVER_FAILURE = "server_failure"
+
+#: the per-request phase names, in lifecycle order.
+REQUEST_PHASES = ("cold_wait", "batch_wait", "exec")
+
+
+@dataclass
+class TraceEvent:
+    """One recorded observation: ``(sim time, kind, flat args)``."""
+
+    ts: float
+    kind: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A flat JSON-serialisable view (args keys never clash)."""
+        payload: Dict[str, Any] = {"ts": self.ts, "kind": self.kind}
+        payload.update(self.args)
+        return payload
+
+
+@dataclass
+class Span:
+    """A closed interval on some track, derived from trace events."""
+
+    name: str
+    cat: str  # "request" | "instance" | "system"
+    start: float
+    end: float
+    track: int  # request id, instance id or 0 for system tracks
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _event_dict(event) -> Dict[str, Any]:
+    """Accept both TraceEvent objects and already-flat dicts."""
+    if isinstance(event, dict):
+        return event
+    return event.to_dict()
+
+
+def request_spans(events: Iterable[Any]) -> List[Span]:
+    """Per-request phase spans from ``request_complete`` events.
+
+    Each completed request yields up to three contiguous spans
+    (zero-length phases are skipped) tiling exactly
+    ``[arrival, completion]`` -- the paper's decomposition
+    ``l = t_cold + t_batch + t_exec`` rendered on one track per
+    request.
+    """
+    spans: List[Span] = []
+    for raw in events:
+        event = _event_dict(raw)
+        if event["kind"] != REQUEST_COMPLETE:
+            continue
+        request = int(event["request"])
+        cursor = float(event["arrival"])
+        shared = {"function": event["function"], "batch": event["batch"]}
+        for phase in REQUEST_PHASES:
+            duration = float(event[f"{phase}_s"])
+            if duration <= 1e-9:  # skip float-residual "phases"
+                continue
+            spans.append(
+                Span(
+                    name=phase,
+                    cat="request",
+                    start=cursor,
+                    end=cursor + duration,
+                    track=request,
+                    args=dict(shared),
+                )
+            )
+            cursor += duration
+    return spans
+
+
+def batch_spans(events: Iterable[Any]) -> List[Span]:
+    """Per-instance batch execution spans from ``batch_start`` events."""
+    spans: List[Span] = []
+    for raw in events:
+        event = _event_dict(raw)
+        if event["kind"] != BATCH_START:
+            continue
+        spans.append(
+            Span(
+                name=f"batch b={event['batch_size']}",
+                cat="instance",
+                start=float(event["ts"]),
+                end=float(event["ts"]) + float(event["exec_s"]),
+                track=int(event["instance"]),
+                args={
+                    "function": event["function"],
+                    "batch": event["batch"],
+                    "config": event["config"],
+                },
+            )
+        )
+    return spans

@@ -1,0 +1,340 @@
+"""Tracer hook points and the in-memory recording tracer.
+
+The base :class:`Tracer` is the **null tracer**: every hook is a no-op
+and ``enabled`` is False, so instrumented components can call hooks
+unconditionally on the hot path (a no-op method call) while sites that
+would have to *build* arguments first guard on ``tracer.enabled``.
+The serving runtime, the auto-scaler, the baselines and the cold-start
+policies all default to :data:`NULL_TRACER`; passing an
+:class:`InMemoryTracer` to :class:`~repro.simulation.runtime.ServingSimulation`
+(or calling :func:`attach_tracer` on a platform directly) switches the
+whole stack to recording.
+
+Determinism: raw request/instance ids come from process-global
+counters, so two runs in one process would disagree.  The recording
+tracer therefore *interns* ids -- dense, first-seen-order local ids --
+which makes traces from identical seeds byte-identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry import spans as ev
+from repro.telemetry.spans import TraceEvent
+
+
+class Tracer:
+    """No-op telemetry hooks (the null tracer).
+
+    Subclasses override the hooks they care about; every hook receives
+    plain scalars (ids, names, sim-time floats) so implementations are
+    free of simulator imports.
+    """
+
+    #: True when hooks actually record; hot paths that must assemble
+    #: arguments check this before doing any work.
+    enabled: bool = False
+
+    # -- request lifecycle ---------------------------------------------
+    def request_arrived(self, request: int, function: str, ts: float) -> None:
+        """A request reached the platform gateway."""
+
+    def request_parked(self, request: int, function: str, ts: float) -> None:
+        """No instance exists yet; the request waits in the pending queue."""
+
+    def request_enqueued(
+        self,
+        request: int,
+        function: str,
+        instance: int,
+        ts: float,
+        cold: bool,
+    ) -> None:
+        """The request entered an instance's batch queue."""
+
+    def request_dropped(
+        self, request: int, function: str, ts: float, reason: str
+    ) -> None:
+        """The request was rejected; ``reason`` is a DROP_* constant."""
+
+    def request_completed(
+        self,
+        request: int,
+        function: str,
+        instance: int,
+        batch: int,
+        arrival: float,
+        ts: float,
+        cold_wait_s: float,
+        batch_wait_s: float,
+        exec_s: float,
+        batch_size: int,
+        config: Tuple[int, int, int],
+        slo_s: float,
+    ) -> None:
+        """The request finished; carries the full latency decomposition."""
+
+    # -- batch lifecycle -----------------------------------------------
+    def batch_started(
+        self,
+        instance: int,
+        function: str,
+        requests: Sequence[int],
+        ts: float,
+        exec_s: float,
+        config: Tuple[int, int, int],
+    ) -> int:
+        """A batch began executing; returns the batch id (0 when null)."""
+        return 0
+
+    # -- control plane --------------------------------------------------
+    def control_tick(self, ts: float, functions: int) -> None:
+        """The periodic auto-scaling control step ran."""
+
+    def dispatch_planned(
+        self, function: str, ts: float, args: Dict[str, Any]
+    ) -> None:
+        """The dispatcher chose a section-3.2 case for a function."""
+
+    def scale_up(
+        self,
+        function: str,
+        ts: float,
+        launched: int,
+        reclaimed: int,
+        residual_rps: float,
+    ) -> None:
+        """A control step added instances for overflow load."""
+
+    def scale_down(self, function: str, ts: float, released: int) -> None:
+        """A control step retired surplus instances."""
+
+    def cold_start(
+        self,
+        function: str,
+        instance: int,
+        ts: float,
+        ready_at: float,
+        config: Tuple[int, int, int],
+    ) -> None:
+        """A freshly launched instance began its cold start."""
+
+    def coldstart_decision(
+        self, function: str, ts: float, prewarm_s: float, keepalive_s: float
+    ) -> None:
+        """A keep-alive policy recomputed its (pre-warm, keep-alive) pair."""
+
+    # -- faults ----------------------------------------------------------
+    def server_failure(self, ts: float, server: int, lost: int) -> None:
+        """An injected machine loss took ``lost`` instances down."""
+
+
+#: alias making call sites explicit about the zero-overhead default.
+NullTracer = Tracer
+
+#: shared default instance; stateless, so sharing is safe.
+NULL_TRACER = Tracer()
+
+
+class InMemoryTracer(Tracer):
+    """Records every hook as a :class:`TraceEvent` with interned ids."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._batch_seq = itertools.count(1)
+        self._request_ids: Dict[int, int] = {}
+        self._instance_ids: Dict[int, int] = {}
+
+    # -- id interning ----------------------------------------------------
+    def _request(self, raw_id: int) -> int:
+        return self._request_ids.setdefault(raw_id, len(self._request_ids))
+
+    def _instance(self, raw_id: int) -> int:
+        return self._instance_ids.setdefault(raw_id, len(self._instance_ids))
+
+    def _emit(self, ts: float, kind: str, **args: Any) -> None:
+        self.events.append(TraceEvent(ts=ts, kind=kind, args=args))
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """The flat-dict view the exporters and summaries consume."""
+        return [event.to_dict() for event in self.events]
+
+    # -- request lifecycle ----------------------------------------------
+    def request_arrived(self, request: int, function: str, ts: float) -> None:
+        self._emit(
+            ts, ev.REQUEST_ARRIVAL, request=self._request(request),
+            function=function,
+        )
+
+    def request_parked(self, request: int, function: str, ts: float) -> None:
+        self._emit(
+            ts, ev.REQUEST_PARKED, request=self._request(request),
+            function=function,
+        )
+
+    def request_enqueued(
+        self, request: int, function: str, instance: int, ts: float, cold: bool
+    ) -> None:
+        self._emit(
+            ts,
+            ev.REQUEST_ENQUEUED,
+            request=self._request(request),
+            function=function,
+            instance=self._instance(instance),
+            cold=cold,
+        )
+
+    def request_dropped(
+        self, request: int, function: str, ts: float, reason: str
+    ) -> None:
+        self._emit(
+            ts,
+            ev.REQUEST_DROP,
+            request=self._request(request),
+            function=function,
+            reason=reason,
+        )
+
+    def request_completed(
+        self,
+        request: int,
+        function: str,
+        instance: int,
+        batch: int,
+        arrival: float,
+        ts: float,
+        cold_wait_s: float,
+        batch_wait_s: float,
+        exec_s: float,
+        batch_size: int,
+        config: Tuple[int, int, int],
+        slo_s: float,
+    ) -> None:
+        latency = ts - arrival
+        self._emit(
+            ts,
+            ev.REQUEST_COMPLETE,
+            request=self._request(request),
+            function=function,
+            instance=self._instance(instance),
+            batch=batch,
+            arrival=arrival,
+            cold_wait_s=cold_wait_s,
+            batch_wait_s=batch_wait_s,
+            exec_s=exec_s,
+            latency_s=latency,
+            batch_size=batch_size,
+            config=list(config),
+            slo_s=slo_s,
+            violated=latency > slo_s + 1e-9,
+        )
+
+    # -- batch lifecycle -------------------------------------------------
+    def batch_started(
+        self,
+        instance: int,
+        function: str,
+        requests: Sequence[int],
+        ts: float,
+        exec_s: float,
+        config: Tuple[int, int, int],
+    ) -> int:
+        batch_id = next(self._batch_seq)
+        self._emit(
+            ts,
+            ev.BATCH_START,
+            batch=batch_id,
+            instance=self._instance(instance),
+            function=function,
+            requests=[self._request(r) for r in requests],
+            batch_size=len(requests),
+            exec_s=exec_s,
+            config=list(config),
+        )
+        return batch_id
+
+    # -- control plane ----------------------------------------------------
+    def control_tick(self, ts: float, functions: int) -> None:
+        self._emit(ts, ev.CONTROL_TICK, functions=functions)
+
+    def dispatch_planned(
+        self, function: str, ts: float, args: Dict[str, Any]
+    ) -> None:
+        self._emit(ts, ev.DISPATCH_PLAN, function=function, **args)
+
+    def scale_up(
+        self,
+        function: str,
+        ts: float,
+        launched: int,
+        reclaimed: int,
+        residual_rps: float,
+    ) -> None:
+        self._emit(
+            ts,
+            ev.SCALE_UP,
+            function=function,
+            launched=launched,
+            reclaimed=reclaimed,
+            residual_rps=residual_rps,
+        )
+
+    def scale_down(self, function: str, ts: float, released: int) -> None:
+        self._emit(ts, ev.SCALE_DOWN, function=function, released=released)
+
+    def cold_start(
+        self,
+        function: str,
+        instance: int,
+        ts: float,
+        ready_at: float,
+        config: Tuple[int, int, int],
+    ) -> None:
+        self._emit(
+            ts,
+            ev.COLD_START,
+            function=function,
+            instance=self._instance(instance),
+            ready_at=ready_at,
+            config=list(config),
+        )
+
+    def coldstart_decision(
+        self, function: str, ts: float, prewarm_s: float, keepalive_s: float
+    ) -> None:
+        self._emit(
+            ts,
+            ev.COLDSTART_DECISION,
+            function=function,
+            prewarm_s=prewarm_s,
+            keepalive_s=keepalive_s,
+        )
+
+    # -- faults ------------------------------------------------------------
+    def server_failure(self, ts: float, server: int, lost: int) -> None:
+        self._emit(ts, ev.SERVER_FAILURE, server=server, lost=lost)
+
+
+def attach_tracer(platform: Any, tracer: Optional[Tracer]) -> Tracer:
+    """Point a platform and its traced components at one tracer.
+
+    Works on any object: sets ``tracer`` on the platform itself and on
+    the sub-components that carry hooks today (the auto-scaler and the
+    keep-alive policy).  Passing None resets to the null tracer.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    for target in (
+        platform,
+        getattr(platform, "autoscaler", None),
+        getattr(platform, "policy", None),
+    ):
+        if target is not None:
+            try:
+                target.tracer = tracer
+            except AttributeError:
+                pass  # __slots__ or frozen objects simply opt out
+    return tracer

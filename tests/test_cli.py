@@ -73,3 +73,51 @@ class TestPlanCommand:
         assert main(["plan", "--model", "bert-v1", "--slo-ms", "4"]) == 1
         out = capsys.readouterr().out
         assert "cannot meet" in out
+
+
+class TestSimulateOutputs:
+    def test_json_output(self, capsys, predictor):
+        import json
+
+        assert main(
+            ["simulate", "--model", "mnist", "--rps", "50", "--duration",
+             "30", "--slo-ms", "100", "--output", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] > 0
+        assert "drop_reasons" in payload
+        assert "violation_rate" in payload
+
+    def test_trace_and_timeline_exports(self, capsys, predictor, tmp_path):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        chrome = tmp_path / "run.chrome.json"
+        timeline = tmp_path / "run.csv"
+        assert main(
+            ["simulate", "--model", "mnist", "--rps", "50", "--duration",
+             "30", "--slo-ms", "100",
+             "--trace-out", str(trace),
+             "--chrome-trace-out", str(chrome),
+             "--timeline-out", str(timeline)]
+        ) == 0
+        lines = trace.read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+        assert json.load(open(chrome))["traceEvents"]
+        assert timeline.read_text().startswith("t,function,")
+
+    def test_trace_summary_roundtrip(self, capsys, predictor, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["simulate", "--model", "mnist", "--rps", "50", "--duration",
+             "30", "--slo-ms", "100", "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace-summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "fn-mnist" in out and "cold (ms)" in out
+
+    def test_trace_summary_empty_trace(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace-summary", str(empty)]) == 1

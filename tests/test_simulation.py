@@ -4,7 +4,13 @@ import pytest
 
 from repro.cluster import build_testbed_cluster
 from repro.core import FunctionSpec, INFlessEngine
-from repro.simulation import EventLoop, EventKind, MetricsCollector, ServingSimulation
+from repro.simulation import (
+    EventBudgetExceeded,
+    EventKind,
+    EventLoop,
+    MetricsCollector,
+    ServingSimulation,
+)
 from repro.simulation.metrics import RequestRecord
 from repro.workloads import constant_trace
 
@@ -62,6 +68,18 @@ class TestEventLoop:
         loop.schedule(0.0, EventKind.ARRIVAL)
         with pytest.raises(RuntimeError):
             loop.run(max_events=100)
+
+    def test_event_budget_exception_carries_progress(self):
+        loop = EventLoop()
+        loop.on(EventKind.ARRIVAL, lambda e: loop.schedule(loop.now + 1, EventKind.ARRIVAL))
+        loop.schedule(0.0, EventKind.ARRIVAL)
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            loop.run(max_events=100)
+        # Callers can salvage partial metrics from the typed exception.
+        assert excinfo.value.processed == 100
+        assert excinfo.value.budget == 100
+        assert excinfo.value.now == pytest.approx(99.0)
+        assert loop.now == excinfo.value.now
 
 
 def record(arrival, completion, slo=0.2, fn="f", batch=4):
@@ -122,6 +140,23 @@ class TestMetricsCollector:
         collector.record_drop(2.0)
         report = collector.finalize(duration_s=10.0)
         assert report.drop_rate == pytest.approx(0.25)
+
+    def test_drop_reasons_aggregate(self):
+        collector = MetricsCollector()
+        collector.record_drop(1.0, "queue_full")
+        collector.record_drop(2.0, "queue_full")
+        collector.record_drop(3.0, "no_capacity")
+        report = collector.finalize(duration_s=10.0)
+        assert report.drop_reasons == {"queue_full": 2, "no_capacity": 1}
+        assert sum(report.drop_reasons.values()) == report.dropped
+
+    def test_drop_reasons_respect_warmup(self):
+        collector = MetricsCollector()
+        collector.record_drop(1.0, "queue_full")
+        collector.record_drop(50.0, "no_capacity")
+        report = collector.finalize(duration_s=100.0, warmup_s=30.0)
+        assert report.drop_reasons == {"no_capacity": 1}
+        assert report.dropped == 1
 
     def test_empty_report_is_safe(self):
         report = MetricsCollector().finalize(duration_s=10.0)

@@ -1,0 +1,264 @@
+"""Tests for the telemetry subsystem: tracing, timelines, exporters."""
+
+import json
+
+import pytest
+
+from repro.baselines import OpenFaaSPlus
+from repro.cluster import build_testbed_cluster
+from repro.core import FunctionSpec, INFlessEngine
+from repro.simulation import ServingSimulation
+from repro.telemetry import (
+    DROP_REASONS,
+    NULL_TRACER,
+    InMemoryTracer,
+    TimelineRecorder,
+    Tracer,
+    attach_tracer,
+    batch_spans,
+    chrome_trace,
+    jsonl_lines,
+    read_jsonl,
+    request_spans,
+    summarize_events,
+    summary_rows,
+    write_chrome_trace,
+    write_jsonl,
+    write_timeline_csv,
+)
+from repro.telemetry.timeline import TIMELINE_COLUMNS
+from repro.workloads import constant_trace
+
+
+def run_sim(predictor, executor, platform=None, tracer=None, timeline=None,
+            rps=50.0, duration=30.0, seed=7, model="mnist", slo_s=0.1):
+    platform = platform or INFlessEngine(
+        build_testbed_cluster(), predictor=predictor
+    )
+    fn = FunctionSpec.for_model(model, slo_s=slo_s)
+    platform.deploy(fn)
+    sim = ServingSimulation(
+        platform=platform,
+        executor=executor,
+        workload={fn.name: constant_trace(rps, duration)},
+        tracer=tracer,
+        timeline=timeline,
+        seed=seed,
+    )
+    return sim.run(), sim
+
+
+class TestNullTracer:
+    def test_hooks_are_noops(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        tracer.request_arrived(1, "f", 0.0)
+        tracer.request_dropped(1, "f", 0.0, "queue_full")
+        assert tracer.batch_started(1, "f", [1], 0.0, 0.1, (4, 2, 20)) == 0
+
+    def test_default_runtime_uses_null_tracer(self, predictor, executor):
+        _report, sim = run_sim(predictor, executor)
+        assert sim.tracer is NULL_TRACER
+
+    def test_attach_tracer_reaches_components(self, predictor):
+        engine = INFlessEngine(build_testbed_cluster(), predictor=predictor)
+        tracer = InMemoryTracer()
+        attach_tracer(engine, tracer)
+        assert engine.tracer is tracer
+        assert engine.autoscaler.tracer is tracer
+        assert engine.policy.tracer is tracer
+        attach_tracer(engine, None)
+        assert engine.autoscaler.tracer is NULL_TRACER
+
+
+class TestTraceRecording:
+    @pytest.fixture()
+    def traced(self, predictor, executor):
+        tracer = InMemoryTracer()
+        timeline = TimelineRecorder()
+        report, sim = run_sim(
+            predictor, executor, tracer=tracer, timeline=timeline
+        )
+        return report, tracer, timeline
+
+    def test_request_lifecycle_recorded(self, traced):
+        report, tracer, _ = traced
+        kinds = {event.kind for event in tracer.events}
+        assert {"request_arrival", "request_enqueued", "batch_start",
+                "request_complete", "control_tick", "dispatch_plan",
+                "scale_up", "cold_start"} <= kinds
+        completes = [
+            e for e in tracer.events if e.kind == "request_complete"
+        ]
+        arrivals = [e for e in tracer.events if e.kind == "request_arrival"]
+        # The trace is unfiltered; the report excludes warmup arrivals.
+        assert len(completes) >= report.completed
+        assert len(arrivals) >= report.arrived
+
+    def test_span_invariant_decomposition(self, traced):
+        """Every completion's spans sum to l = t_cold + t_batch + t_exec."""
+        _report, tracer, _ = traced
+        completes = [
+            e.to_dict() for e in tracer.events if e.kind == "request_complete"
+        ]
+        assert completes
+        for event in completes:
+            total = (
+                event["cold_wait_s"] + event["batch_wait_s"] + event["exec_s"]
+            )
+            assert total == pytest.approx(event["latency_s"], abs=1e-9)
+
+    def test_request_spans_tile_contiguously(self, traced):
+        _report, tracer, _ = traced
+        spans = request_spans(tracer.as_dicts())
+        by_request = {}
+        for span in spans:
+            by_request.setdefault(span.track, []).append(span)
+        for parts in by_request.values():
+            for left, right in zip(parts, parts[1:]):
+                assert right.start == pytest.approx(left.end, abs=1e-9)
+
+    def test_batch_spans_cover_batches(self, traced):
+        _report, tracer, _ = traced
+        starts = [e for e in tracer.events if e.kind == "batch_start"]
+        assert len(batch_spans(tracer.as_dicts())) == len(starts)
+
+    def test_interned_ids_are_dense(self, traced):
+        _report, tracer, _ = traced
+        requests = {
+            e.args["request"]
+            for e in tracer.events
+            if e.kind == "request_arrival"
+        }
+        assert requests == set(range(len(requests)))
+
+    def test_drop_reasons_match_report(self, predictor, executor):
+        tracer = InMemoryTracer()
+        # Overload a single function so the waiting-batch bound drops.
+        report, sim = run_sim(
+            predictor, executor, tracer=tracer, rps=400.0, duration=20.0
+        )
+        trace_drops = [
+            e.args["reason"]
+            for e in tracer.events
+            if e.kind == "request_drop"
+        ]
+        assert len(trace_drops) == sim.metrics.dropped
+        assert set(sim.metrics.drop_reasons) <= set(DROP_REASONS)
+        for reason in trace_drops:
+            assert reason in DROP_REASONS
+
+    def test_baseline_platform_emits_comparable_trace(
+        self, predictor, executor
+    ):
+        tracer = InMemoryTracer()
+        platform = OpenFaaSPlus(build_testbed_cluster(), predictor)
+        _report, _sim = run_sim(
+            predictor, executor, platform=platform, tracer=tracer
+        )
+        kinds = {event.kind for event in tracer.events}
+        assert {"request_complete", "scale_up", "cold_start"} <= kinds
+
+
+class TestDeterminism:
+    def test_identical_seeds_yield_identical_jsonl(self, predictor, executor):
+        def trace():
+            tracer = InMemoryTracer()
+            run_sim(predictor, executor, tracer=tracer, seed=11)
+            return jsonl_lines(tracer.events)
+
+        assert trace() == trace()
+
+    def test_jsonl_roundtrip(self, predictor, executor, tmp_path):
+        tracer = InMemoryTracer()
+        run_sim(predictor, executor, tracer=tracer)
+        path = str(tmp_path / "run.jsonl")
+        count = write_jsonl(tracer.events, path)
+        events = read_jsonl(path)
+        assert count == len(events) == len(tracer.events)
+        assert events == tracer.as_dicts()
+
+
+class TestTimeline:
+    def test_rows_per_tick_and_function(self, predictor, executor):
+        timeline = TimelineRecorder()
+        _report, _sim = run_sim(
+            predictor, executor, timeline=timeline, duration=30.0
+        )
+        assert len(timeline) == 31  # one per control tick, ticks at 0..30
+        assert timeline.series("fn-mnist", "t") == [float(t) for t in range(31)]
+        live = timeline.series("fn-mnist", "live_instances")
+        assert max(live) >= 1
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder().sample(t=0.0, bogus=1)
+
+    def test_csv_export(self, predictor, executor, tmp_path):
+        timeline = TimelineRecorder()
+        run_sim(predictor, executor, timeline=timeline)
+        path = str(tmp_path / "timeline.csv")
+        rows = write_timeline_csv(timeline, path)
+        lines = open(path).read().splitlines()
+        assert lines[0] == ",".join(TIMELINE_COLUMNS)
+        assert len(lines) == rows + 1
+
+
+class TestChromeExport:
+    def test_trace_event_schema(self, predictor, executor, tmp_path):
+        """The export must be valid trace_event JSON (Perfetto-loadable)."""
+        tracer = InMemoryTracer()
+        timeline = TimelineRecorder()
+        run_sim(predictor, executor, tracer=tracer, timeline=timeline)
+        path = str(tmp_path / "chrome.json")
+        write_chrome_trace(tracer.events, path, timeline=timeline)
+        payload = json.load(open(path))
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["traceEvents"]
+        phases = set()
+        for event in payload["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            phases.add(event["ph"])
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+            if event["ph"] != "M":
+                assert "ts" in event or event["ph"] == "M"
+        assert {"M", "X", "i"} <= phases
+
+    def test_counter_events_from_timeline(self, predictor, executor):
+        tracer = InMemoryTracer()
+        timeline = TimelineRecorder()
+        run_sim(predictor, executor, tracer=tracer, timeline=timeline)
+        payload = chrome_trace(tracer.events, timeline=timeline)
+        counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert any("queue_depth" in e["name"] for e in counters)
+
+
+class TestSummary:
+    def test_summarize_matches_trace(self, predictor, executor):
+        tracer = InMemoryTracer()
+        run_sim(predictor, executor, tracer=tracer)
+        summaries = summarize_events(tracer.as_dicts())
+        assert "fn-mnist" in summaries
+        summary = summaries["fn-mnist"]
+        completes = [
+            e for e in tracer.events if e.kind == "request_complete"
+        ]
+        assert summary.completed == len(completes)
+        decomposition = summary.decomposition()
+        assert decomposition["exec_s"] > 0
+        assert summary.mean("latency_s") == pytest.approx(
+            decomposition["cold_wait_s"]
+            + decomposition["batch_wait_s"]
+            + decomposition["exec_s"],
+            rel=1e-9,
+        )
+        rows = summary_rows(summaries)
+        assert rows[0][0] == "fn-mnist"
+
+    def test_empty_events(self):
+        assert summarize_events([]) == {}
