@@ -43,6 +43,10 @@ class BatchOTP(UniformScalingPlatform):
     """The BATCH baseline: OTP adaptive batching with uniform scaling."""
 
     ingress_delay_s = OTP_INGRESS_DELAY_S
+    #: BATCH selects SLO-feasible configs (so the audit layer may check
+    #: Eq. 1 feasibility) but advertises plain ``b/t_exec`` capacity
+    #: rather than the paper's exact bounds -- hence not "exact".
+    invariant_slo_check = "feasible"
 
     def __init__(
         self,
@@ -62,7 +66,12 @@ class BatchOTP(UniformScalingPlatform):
             seed=seed,
         )
         self.config_space = config_space or ConfigSpace()
-        self._choice_cache: Dict[Tuple[str, int], InstanceConfig] = {}
+        #: keyed on (name, model, slo, load bucket): like the greedy
+        #: scheduler's config cache, a name-only key would leak choices
+        #: between same-named specs with different SLOs or models.
+        self._choice_cache: Dict[
+            Tuple[str, str, float, int], InstanceConfig
+        ] = {}
 
     # ------------------------------------------------------------------
     def timeout_slack_s(self, function: FunctionSpec) -> float:
@@ -101,7 +110,7 @@ class BatchOTP(UniformScalingPlatform):
         second).
         """
         bucket = 0 if rps <= 0 else max(0, int(rps).bit_length())
-        key = (function.name, bucket)
+        key = (function.name, function.model.name, function.slo_s, bucket)
         cached = self._choice_cache.get(key)
         if cached is not None:
             return cached

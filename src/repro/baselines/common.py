@@ -139,7 +139,10 @@ class UniformScalingPlatform:
         t_exec = self.predictor.predict(
             function.model, config.batch, config.cpu, config.gpu
         )
-        r_up = max(1.0, math.floor(1.0 / t_exec) * config.batch)
+        # Exact (un-floored) sustainable rate: the per-second floor both
+        # zeroes out for t_exec >= 1s and over-reports capacity through
+        # the max(1, .) clamp, skewing the fleet-size computation.
+        r_up = config.batch / t_exec
         bounds = RateBounds(r_low=0.0, r_up=float(r_up))
         return t_exec, bounds
 

@@ -145,8 +145,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         warmup_s=min(20.0, args.duration / 4),
         tracer=tracer,
         timeline=timeline,
+        invariants=args.check_invariants,
         seed=args.seed,
     ).run()
+    if report.invariant_violations:
+        print(
+            f"{len(report.invariant_violations)} invariant violation(s)"
+            " collected:",
+            file=sys.stderr,
+        )
+        for violation in report.invariant_violations:
+            print(
+                f"  [{violation['invariant']}] t={violation['time']:.3f}s"
+                f" {violation['message']}",
+                file=sys.stderr,
+            )
     if args.trace_out:
         lines = write_jsonl(tracer.events, args.trace_out)
         print(f"wrote {lines} trace events to {args.trace_out}", file=sys.stderr)
@@ -313,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--timeline-out", metavar="PATH",
         help="write the per-tick metrics timeline CSV here",
+    )
+    simulate.add_argument(
+        "--check-invariants", choices=("off", "collect", "strict"),
+        default="off",
+        help="run the conservation-invariant audit layer: collect folds"
+             " findings into the report, strict aborts on the first",
     )
 
     trace_summary = sub.add_parser(

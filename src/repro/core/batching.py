@@ -4,11 +4,17 @@ Every instance owns an individual batch queue.  To guarantee the SLO
 without dropping requests, the request arrival rate toward an instance
 must stay inside ``[r_low, r_up]`` (Eq. 1):
 
-* ``r_up = floor(1 / t_exec) * b`` -- above this the previous batch is
-  still executing when the next fills, so requests would be dropped;
+* ``r_up = b / t_exec`` -- above this the previous batch is still
+  executing when the next fills, so requests would be dropped.  The
+  paper prints the per-second discretisation ``floor(1/t_exec) * b``,
+  which collapses to zero whenever ``t_exec >= 1s`` even though the
+  configuration is SLO-feasible; we use the exact (un-floored) rate so
+  every feasible configuration has strictly positive capacity;
 * ``r_low = ceil(1 / (t_slo - t_exec)) * b`` -- below this the batch
   cannot fill before the waiting timeout forces a partial (inefficient)
-  submission;
+  submission.  When that per-second ceiling overshoots ``r_up`` (again
+  only for second-scale times) we fall back to the exact rate
+  ``b / (t_slo - t_exec)``, which feasibility guarantees is ``<= r_up``;
 * feasibility requires ``t_exec <= t_slo / 2`` so that
   ``r_low <= r_up`` (batch submission must not outpace execution).
 
@@ -74,15 +80,19 @@ def rate_bounds(t_exec: float, t_slo: float, batch: int) -> RateBounds:
             raise InfeasibleBatchError(
                 f"t_exec={t_exec:.4f}s exceeds SLO {t_slo:.4f}s"
             )
-        return RateBounds(r_low=0.0, r_up=math.floor(1.0 / t_exec) * 1.0)
+        return RateBounds(r_low=0.0, r_up=1.0 / t_exec)
     if t_exec > t_slo / 2.0:
         raise InfeasibleBatchError(
             f"t_exec={t_exec:.4f}s > t_slo/2={t_slo / 2.0:.4f}s: batch"
             f" submission would outpace execution"
         )
-    r_up = math.floor(1.0 / t_exec) * batch
-    r_low = math.ceil(1.0 / (t_slo - t_exec)) * batch
-    return RateBounds(r_low=float(r_low), r_up=float(r_up))
+    r_up = batch / t_exec
+    r_low = float(math.ceil(1.0 / (t_slo - t_exec)) * batch)
+    if r_low > r_up:
+        # The per-second ceiling overshoots for second-scale times;
+        # use the exact saturation rate (feasibility makes it <= r_up).
+        r_low = batch / (t_slo - t_exec)
+    return RateBounds(r_low=r_low, r_up=r_up)
 
 
 @dataclass
@@ -141,18 +151,25 @@ class BatchQueue:
         deadline = self.deadline()
         return deadline is not None and now >= deadline - 1e-12
 
-    def drain(self) -> List[object]:
+    def drain(self, now: Optional[float] = None) -> List[object]:
         """Remove and return up to ``batch_size`` requests (FIFO).
 
         If requests remain queued, the timeout clock restarts from the
         new head-of-queue's ``arrival`` attribute (the runtime's
-        Request objects carry one); otherwise the queue goes idle.
+        Request objects carry one).  Payloads without an ``arrival``
+        fall back to ``now`` -- the drain time -- because reusing the
+        *previous* batch's oldest arrival would make the next deadline
+        spuriously early (often already expired).  Otherwise the queue
+        goes idle.
         """
         batch = self._pending[: self.batch_size]
         self._pending = self._pending[self.batch_size :]
         if self._pending:
             head = self._pending[0]
-            self._oldest_arrival = getattr(head, "arrival", self._oldest_arrival)
+            arrival = getattr(head, "arrival", None)
+            if arrival is None:
+                arrival = now if now is not None else self._oldest_arrival
+            self._oldest_arrival = arrival
         else:
             self._oldest_arrival = None
         return batch

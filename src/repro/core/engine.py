@@ -28,6 +28,10 @@ from repro.profiling.predictor import LatencyPredictor, build_default_predictor
 class INFlessEngine:
     """The native serverless inference platform.
 
+    ``invariant_slo_check = "exact"``: the audit layer may recompute
+    Eq. 1 for every placed instance and expect its stored bounds to
+    match -- INFless configures instances per the paper exactly.
+
     Args:
         cluster: the cluster to manage.
         predictor: COP latency predictor; profiled on first use when
@@ -37,6 +41,8 @@ class INFlessEngine:
         alpha: dispatcher oscillation-damping constant (paper: 0.8).
         seed: seed for the weighted request router.
     """
+
+    invariant_slo_check = "exact"
 
     def __init__(
         self,

@@ -89,14 +89,20 @@ class GreedyScheduler:
         #: the RS-ablation of Fig. 11 ("selecting only the resource
         #: configuration with the maximum throughput").
         self.selection = selection
-        #: (function, batch) -> feasible (config, t_exec, bounds) rows
-        #: independent of the residual-load filter; predictions do not
-        #: change between scheduling calls, so this is safe to cache.
-        self._config_cache: Dict[Tuple[str, int], List[Tuple]] = {}
+        #: (function, model, slo, batch) -> feasible (config, t_exec,
+        #: bounds) rows independent of the residual-load filter;
+        #: predictions do not change between scheduling calls, so this
+        #: is safe to cache.  The key must carry the SLO and the model
+        #: identity, not just the function name: ablation sweeps reuse
+        #: a scheduler across specs that share a name but differ in
+        #: either, and a name-only key hands them each other's rows.
+        self._config_cache: Dict[Tuple[str, str, float, int], List[Tuple]] = {}
         #: ascending weighted-free server index, cached across
-        #: schedule() calls and invalidated via Cluster.version.
+        #: schedule() calls and invalidated via Cluster.version (and
+        #: re-keyed whenever the efficiency beta moves).
         self._free_index: Optional[List[Tuple[float, int]]] = None
         self._free_index_version: int = -1
+        self._free_index_beta: float = float("nan")
         self._beta_cache: Tuple[int, float] = (-1, 0.0)
         #: re-price the CPU/GPU conversion factor by *remaining*
         #: cluster resources at each placement: when GPUs deplete,
@@ -131,7 +137,7 @@ class GreedyScheduler:
         constraints and, for ``b > 1``, can be saturated by the
         residual load (``R_k >= r_low``).
         """
-        cache_key = (function.name, batch)
+        cache_key = (function.name, function.model.name, function.slo_s, batch)
         rows = self._config_cache.get(cache_key)
         if rows is None:
             rows = []
@@ -164,9 +170,17 @@ class GreedyScheduler:
         self,
         resources: ResourceVector,
         sorted_free: List[Tuple[float, int]],
+        beta: Optional[float] = None,
     ) -> Optional[int]:
-        """Feasible server with the least weighted free capacity."""
-        cost = resources.weighted(self.cluster.beta)
+        """Feasible server with the least weighted free capacity.
+
+        ``beta`` must be the beta the index was keyed with (the
+        efficiency beta); mixing betas between the bisect cost and the
+        index keys breaks the best-fit shortcut's argmax property.
+        """
+        if beta is None:
+            beta = self._efficiency_beta()
+        cost = resources.weighted(beta)
         # Skip servers whose weighted free capacity cannot cover the
         # weighted cost, then scan upward for a true fit (single-GPU
         # quota and memory can still rule a server out).
@@ -177,16 +191,25 @@ class GreedyScheduler:
         return None
 
     def _sorted_free(self) -> List[Tuple[float, int]]:
-        """The ascending free-capacity index, rebuilt only when stale."""
+        """The ascending free-capacity index, rebuilt only when stale.
+
+        Keyed with the *efficiency* beta so the best-fit shortcut ranks
+        servers exactly as Eq. 10 would score them; under dynamic beta
+        the static ``cluster.beta`` ordering can disagree with the
+        argmax once the free CPU/GPU ratio drifts.
+        """
+        beta = self._efficiency_beta()
         if (
             self._free_index is None
             or self._free_index_version != self.cluster.version
+            or self._free_index_beta != beta
         ):
             self._free_index = sorted(
-                (server.weighted_free(self.cluster.beta), server.server_id)
+                (server.weighted_free(beta), server.server_id)
                 for server in self.cluster.servers
             )
             self._free_index_version = self.cluster.version
+            self._free_index_beta = beta
         return self._free_index
 
     # ------------------------------------------------------------------
@@ -307,7 +330,7 @@ class GreedyScheduler:
         best = None
         for (config, t_exec, bounds), density in zip(candidates, densities):
             resources = self._instance_resources(function, config)
-            server_id = self._best_server_for(resources, sorted_free)
+            server_id = self._best_server_for(resources, sorted_free, beta)
             if server_id is None:
                 continue
             server = self.cluster.server(server_id)
@@ -342,17 +365,30 @@ class GreedyScheduler:
     def _update_sorted_free(
         self, sorted_free: List[Tuple[float, int]], server_id: int
     ) -> None:
-        """Re-key one server in the ascending free-capacity index."""
-        for index, (_key, sid) in enumerate(sorted_free):
-            if sid == server_id:
-                del sorted_free[index]
-                break
-        server = self.cluster.server(server_id)
-        bisect.insort(
-            sorted_free, (server.weighted_free(self.cluster.beta), server_id)
-        )
+        """Re-key the index after our own allocation.
+
+        An allocation moves the free CPU/GPU ratio, so under dynamic
+        beta *every* key may be stale, not just the touched server's;
+        rebuild in place when beta moved, else re-key the one server.
+        """
+        beta = self._efficiency_beta()
+        if beta != self._free_index_beta:
+            sorted_free[:] = sorted(
+                (server.weighted_free(beta), server.server_id)
+                for server in self.cluster.servers
+            )
+        else:
+            for index, (_key, sid) in enumerate(sorted_free):
+                if sid == server_id:
+                    del sorted_free[index]
+                    break
+            server = self.cluster.server(server_id)
+            bisect.insort(
+                sorted_free, (server.weighted_free(beta), server_id)
+            )
         # The index now reflects the cluster state after our own
         # allocation; keep the cache valid across schedule() calls.
+        self._free_index_beta = beta
         self._free_index_version = self.cluster.version
 
     # ------------------------------------------------------------------

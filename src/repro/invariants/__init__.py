@@ -1,0 +1,26 @@
+"""repro.invariants -- the conservation-invariant audit layer.
+
+See :mod:`repro.invariants.checker` for the invariant families and
+``docs/invariants.md`` for the rationale.  This is simulator QA: it
+verifies the event-driven machinery, it is not an INFless mechanism.
+"""
+
+from repro.invariants.checker import (
+    MODES,
+    InvariantChecker,
+    InvariantViolation,
+    Violation,
+    default_mode,
+    resolve_checker,
+    set_default_mode,
+)
+
+__all__ = [
+    "MODES",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Violation",
+    "default_mode",
+    "resolve_checker",
+    "set_default_mode",
+]

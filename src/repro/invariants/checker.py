@@ -1,0 +1,477 @@
+"""Conservation-invariant audit layer for the serving simulator.
+
+Simulator QA, not a paper mechanism: none of these checks change what
+the platforms do -- they continuously verify that the discrete-event
+machinery is internally consistent while INFless and the baselines run.
+Checked families:
+
+* **request conservation** -- at every control tick and at finalize,
+  ``arrived == completed + dropped + parked + queued + executing``:
+  the simulator may move requests between states but never invent or
+  lose one;
+* **resource conservation** -- per healthy server,
+  ``allocated + free == capacity`` in every dimension, no free pool
+  ever negative or above capacity, the per-device GPU bookkeeping sums
+  to the server aggregates, and (at finalize) every outstanding
+  placement is owned by a live instance or warm-pool entry;
+* **latency-decomposition tiling** -- each completed request's
+  ``cold_wait + queue_wait + exec`` tiles ``arrival -> completion``
+  (exactly for single-stage runs, as a lower bound for chained ones)
+  and agrees with the telemetry span when a recording tracer is on;
+* **scheduler soundness** -- every placed instance has ``r_up > 0``
+  and, on platforms that configure per the paper's Eq. 1, a
+  ``<b, c, g>`` whose rate bounds are feasible under its SLO;
+* **report consistency** -- ``drop_reasons`` sums to ``dropped`` and
+  the batch/config histograms sum to ``completed``.
+
+Modes: ``"off"`` (no checks), ``"collect"`` (fold findings into
+``SimulationReport.invariant_violations``), ``"strict"`` (raise a
+typed :class:`InvariantViolation` at the first failure; the test suite
+turns this on globally via an autouse conftest fixture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.batching import InfeasibleBatchError, rate_bounds
+
+MODES = ("off", "collect", "strict")
+
+#: process-wide default mode; tests flip it to "strict" via conftest.
+_default_mode = "off"
+
+#: absolute slack for float comparisons (sim times are seconds).
+TOL = 1e-6
+
+
+def set_default_mode(mode: str) -> str:
+    """Set the mode new checkers resolve when built without one."""
+    global _default_mode
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    previous = _default_mode
+    _default_mode = mode
+    return previous
+
+
+def default_mode() -> str:
+    """The mode a checker built without an explicit one resolves."""
+    return _default_mode
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure, with enough context to debug it."""
+
+    invariant: str
+    time: float
+    message: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+
+class InvariantViolation(AssertionError):
+    """A strict-mode audit failure; carries the typed finding."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(
+            f"[{violation.invariant}] t={violation.time:.3f}s:"
+            f" {violation.message}"
+        )
+        self.violation = violation
+
+
+class InvariantChecker:
+    """Audits a :class:`ServingSimulation` while it runs.
+
+    The checker is platform-agnostic: it reads only the serving
+    runtime's own bookkeeping, the shared cluster/server structures and
+    (duck-typed) the active/warm instance registries every platform
+    keeps, so INFless and all baselines run under the same audit.
+    """
+
+    def __init__(self, mode: Optional[str] = None) -> None:
+        resolved = default_mode() if mode is None else mode
+        if resolved not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {resolved!r}")
+        self.mode = resolved
+        self.violations: List[Violation] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    def _flag(
+        self, invariant: str, time: float, message: str, **details: object
+    ) -> None:
+        violation = Violation(
+            invariant=invariant, time=time, message=message, details=details
+        )
+        if self.mode == "strict":
+            raise InvariantViolation(violation)
+        self.violations.append(violation)
+
+    # ------------------------------------------------------------------
+    # platform introspection (duck-typed)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _registry_owner(platform: object) -> object:
+        """Whoever keeps the _active/_warm instance registries."""
+        autoscaler = getattr(platform, "autoscaler", None)
+        if autoscaler is not None and hasattr(autoscaler, "_active"):
+            return autoscaler
+        return platform
+
+    @classmethod
+    def _all_instances(cls, platform: object) -> List[object]:
+        owner = cls._registry_owner(platform)
+        active = getattr(owner, "_active", {})
+        return [inst for group in active.values() for inst in group]
+
+    @classmethod
+    def _warm_instances(cls, platform: object) -> List[object]:
+        owner = cls._registry_owner(platform)
+        warm = getattr(owner, "_warm", {})
+        return [entry.instance for entries in warm.values() for entry in entries]
+
+    # ------------------------------------------------------------------
+    # request conservation
+    # ------------------------------------------------------------------
+    def _request_counts(self, sim: object) -> Dict[str, int]:
+        parked = sum(len(queue) for queue in sim._pending.values())
+        queued = sum(
+            len(inst.queue)
+            for inst in self._all_instances(sim.platform)
+            if inst.queue is not None
+        )
+        return {
+            "arrived": sim.metrics.arrived,
+            "completed": len(sim.metrics.records),
+            "dropped": sim.metrics.dropped,
+            "parked": parked,
+            "queued": queued,
+            "executing": sim._executing,
+        }
+
+    def check_request_conservation(self, sim: object, now: float) -> None:
+        # Chained stage hand-offs retire one in-flight token and inject
+        # another at the same instant, so the ledger balances without a
+        # separate "forwarded" term.
+        counts = self._request_counts(sim)
+        accounted = (
+            counts["completed"]
+            + counts["dropped"]
+            + counts["parked"]
+            + counts["queued"]
+            + counts["executing"]
+        )
+        if accounted != counts["arrived"]:
+            self._flag(
+                "request_conservation",
+                now,
+                f"arrived={counts['arrived']} but accounted={accounted}",
+                **counts,
+            )
+
+    # ------------------------------------------------------------------
+    # resource conservation
+    # ------------------------------------------------------------------
+    def check_resource_conservation(self, sim: object, now: float) -> None:
+        cluster = sim.platform.cluster
+        by_server: Dict[int, List[object]] = {}
+        for placement in cluster.placements:
+            by_server.setdefault(placement.server_id, []).append(placement)
+        for server in cluster.servers:
+            if not server.healthy:
+                continue
+            # Audit the raw bookkeeping fields: the ResourceVector views
+            # (server.free / server.used) refuse to even construct from
+            # a corrupted negative pool, which would turn an audit
+            # finding into an opaque crash.
+            dims = (
+                ("cpu", server.cpu_free, server.cpu_capacity),
+                ("gpu", server.gpu_free, server.gpu_capacity),
+                ("memory_mb", server.memory_free_mb, server.memory_capacity_mb),
+            )
+            for dim, f, c in dims:
+                if f < 0 or f > c:
+                    self._flag(
+                        "resource_conservation",
+                        now,
+                        f"server {server.server_id}: free {dim}={f}"
+                        f" outside [0, {c}]",
+                        server=server.server_id,
+                        dimension=dim,
+                    )
+            for gpu in server.gpus:
+                if gpu.free < 0 or gpu.free > gpu.capacity:
+                    self._flag(
+                        "resource_conservation",
+                        now,
+                        f"server {server.server_id} GPU {gpu.device_id}:"
+                        f" free={gpu.free} outside [0, {gpu.capacity}]",
+                        server=server.server_id,
+                        device=gpu.device_id,
+                    )
+            gpu_total = sum(gpu.free for gpu in server.gpus)
+            if server.gpu_free != gpu_total:
+                self._flag(
+                    "resource_conservation",
+                    now,
+                    f"server {server.server_id}: cached GPU free"
+                    f" {server.gpu_free} != per-device sum {gpu_total}",
+                    server=server.server_id,
+                )
+            placements = by_server.get(server.server_id, [])
+            for dim, f, c in dims:
+                used = c - f
+                placed = sum(getattr(p.resources, dim) for p in placements)
+                if abs(placed - used) > TOL:
+                    self._flag(
+                        "resource_conservation",
+                        now,
+                        f"server {server.server_id}: placements sum to"
+                        f" {dim}={placed} but used={used}"
+                        " (allocate/release mismatch)",
+                        server=server.server_id,
+                        dimension=dim,
+                    )
+
+    def check_placement_ownership(self, sim: object, now: float) -> None:
+        """Every outstanding placement belongs to a tracked instance."""
+        cluster = sim.platform.cluster
+        owners = set()
+        holders = self._all_instances(sim.platform) + self._warm_instances(
+            sim.platform
+        )
+        for inst in holders:
+            placement = getattr(inst, "placement", None)
+            if placement is not None:
+                owners.add(placement.placement_id)
+        leaked = [
+            p.placement_id
+            for p in cluster.placements
+            if p.placement_id not in owners
+        ]
+        if leaked:
+            self._flag(
+                "resource_conservation",
+                now,
+                f"{len(leaked)} placement(s) held by no live instance or"
+                " warm-pool entry (allocation leak)",
+                leaked_placements=leaked[:10],
+            )
+
+    # ------------------------------------------------------------------
+    # scheduler soundness
+    # ------------------------------------------------------------------
+    def check_scheduler_soundness(self, sim: object, now: float) -> None:
+        level = getattr(sim.platform, "invariant_slo_check", "none")
+        for inst in self._all_instances(sim.platform):
+            if inst.placement is None:
+                continue
+            if not inst.r_up > 0.0:
+                self._flag(
+                    "scheduler_soundness",
+                    now,
+                    f"instance#{inst.instance_id} placed with"
+                    f" r_up={inst.r_up} (zero-capacity instance)",
+                    instance=inst.instance_id,
+                    function=inst.function.name,
+                )
+                continue
+            if level == "none":
+                continue
+            slo_eff = inst.function.slo_s - inst.timeout_slack_s
+            try:
+                bounds = rate_bounds(
+                    inst.t_exec_pred, slo_eff, inst.config.batch
+                )
+            except (InfeasibleBatchError, ValueError):
+                self._flag(
+                    "scheduler_soundness",
+                    now,
+                    f"instance#{inst.instance_id} config {inst.config}"
+                    f" infeasible under SLO {slo_eff:.4f}s"
+                    f" (t_exec={inst.t_exec_pred:.4f}s)",
+                    instance=inst.instance_id,
+                    function=inst.function.name,
+                )
+                continue
+            if level == "exact" and (
+                abs(bounds.r_up - inst.r_up) > TOL * max(1.0, bounds.r_up)
+                or abs(bounds.r_low - inst.r_low)
+                > TOL * max(1.0, bounds.r_low)
+            ):
+                self._flag(
+                    "scheduler_soundness",
+                    now,
+                    f"instance#{inst.instance_id} carries bounds"
+                    f" [{inst.r_low:.3f}, {inst.r_up:.3f}] but Eq. 1"
+                    f" gives [{bounds.r_low:.3f}, {bounds.r_up:.3f}]",
+                    instance=inst.instance_id,
+                    function=inst.function.name,
+                )
+
+    # ------------------------------------------------------------------
+    # latency tiling
+    # ------------------------------------------------------------------
+    def check_latency_tiling(self, sim: object, now: float) -> None:
+        chained = bool(sim.chains)
+        for record in sim.metrics.records:
+            latency = record.completion - record.arrival
+            parts = record.cold_wait_s + record.queue_wait_s + record.exec_s
+            if (
+                record.cold_wait_s < -TOL
+                or record.queue_wait_s < -TOL
+                or record.exec_s <= 0
+                or latency < -TOL
+            ):
+                self._flag(
+                    "latency_tiling",
+                    now,
+                    f"{record.function}: negative latency component"
+                    f" (cold={record.cold_wait_s:.6f},"
+                    f" queue={record.queue_wait_s:.6f},"
+                    f" exec={record.exec_s:.6f})",
+                    function=record.function,
+                )
+                continue
+            tol = TOL * max(1.0, latency)
+            # Chained requests spend time in *earlier* stages that the
+            # final stage's decomposition does not see: the parts only
+            # lower-bound the end-to-end latency.
+            if chained:
+                bad = parts > latency + tol
+            else:
+                bad = abs(parts - latency) > tol
+            if bad:
+                self._flag(
+                    "latency_tiling",
+                    now,
+                    f"{record.function}: cold+queue+exec={parts:.6f}s does"
+                    f" not tile arrival->completion={latency:.6f}s",
+                    function=record.function,
+                    arrival=record.arrival,
+                    completion=record.completion,
+                )
+
+    def check_telemetry_agreement(self, sim: object, now: float) -> None:
+        events = getattr(sim.tracer, "events", None)
+        if not sim.tracer.enabled or events is None:
+            return
+        from repro.telemetry import spans as ev
+
+        completions = [e for e in events if e.kind == ev.REQUEST_COMPLETE]
+        drops = sum(1 for e in events if e.kind == ev.REQUEST_DROP)
+        arrivals = sum(1 for e in events if e.kind == ev.REQUEST_ARRIVAL)
+        if len(completions) != len(sim.metrics.records):
+            self._flag(
+                "telemetry_agreement",
+                now,
+                f"tracer saw {len(completions)} completions, metrics"
+                f" recorded {len(sim.metrics.records)}",
+            )
+        if drops != sim.metrics.dropped:
+            self._flag(
+                "telemetry_agreement",
+                now,
+                f"tracer saw {drops} drops, metrics recorded"
+                f" {sim.metrics.dropped}",
+            )
+        if arrivals != sim.metrics.arrived:
+            self._flag(
+                "telemetry_agreement",
+                now,
+                f"tracer saw {arrivals} arrivals, metrics recorded"
+                f" {sim.metrics.arrived}",
+            )
+        span_total = sum(e.args["latency_s"] for e in completions)
+        record_total = sum(r.latency_s for r in sim.metrics.records)
+        if abs(span_total - record_total) > TOL * max(1.0, record_total):
+            self._flag(
+                "telemetry_agreement",
+                now,
+                f"tracer latency total {span_total:.6f}s disagrees with"
+                f" metrics total {record_total:.6f}s",
+            )
+
+    # ------------------------------------------------------------------
+    # report consistency
+    # ------------------------------------------------------------------
+    def check_report(self, sim: object, report: object) -> None:
+        if not self.enabled:
+            return
+        now = sim.loop.now
+        if sum(report.drop_reasons.values()) != report.dropped:
+            self._flag(
+                "report_consistency",
+                now,
+                f"drop_reasons sum to {sum(report.drop_reasons.values())}"
+                f" but dropped={report.dropped}",
+                drop_reasons=dict(report.drop_reasons),
+            )
+        for name in ("batch_histogram", "config_histogram"):
+            hist = getattr(report, name)
+            total = sum(hist.values())
+            if total != report.completed:
+                self._flag(
+                    "report_consistency",
+                    now,
+                    f"{name} sums to {total} but completed="
+                    f"{report.completed}",
+                )
+        if report.completed + report.dropped > report.arrived:
+            self._flag(
+                "report_consistency",
+                now,
+                f"completed+dropped={report.completed + report.dropped}"
+                f" exceeds arrived={report.arrived}",
+            )
+
+    # ------------------------------------------------------------------
+    # entry points called by the runtime
+    # ------------------------------------------------------------------
+    def check_tick(self, sim: object, now: float) -> None:
+        """The per-control-tick audit (cheap, state-only checks)."""
+        if not self.enabled:
+            return
+        self.check_request_conservation(sim, now)
+        self.check_resource_conservation(sim, now)
+        self.check_scheduler_soundness(sim, now)
+
+    def check_final(self, sim: object, now: float) -> None:
+        """The end-of-run audit, after the event loop drains."""
+        if not self.enabled:
+            return
+        self.check_request_conservation(sim, now)
+        self.check_resource_conservation(sim, now)
+        self.check_placement_ownership(sim, now)
+        self.check_scheduler_soundness(sim, now)
+        self.check_latency_tiling(sim, now)
+        self.check_telemetry_agreement(sim, now)
+        if sim._executing != 0:
+            self._flag(
+                "request_conservation",
+                now,
+                f"{sim._executing} request(s) still marked executing after"
+                " the event loop drained",
+            )
+
+
+def resolve_checker(
+    invariants: Union[None, str, InvariantChecker],
+) -> InvariantChecker:
+    """Normalise a runtime's ``invariants`` argument into a checker."""
+    if isinstance(invariants, InvariantChecker):
+        return invariants
+    return InvariantChecker(mode=invariants)

@@ -78,6 +78,9 @@ class SimulationReport:
     #: drop reason -> count (queue_full / no_capacity / slo_unreachable
     #: / server_failure); sums to ``dropped``.
     drop_reasons: Dict[str, int] = field(default_factory=dict)
+    #: invariant-audit findings folded in under collect mode (empty
+    #: when strict checking is on -- violations raise instead).
+    invariant_violations: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def violation_rate(self) -> float:
@@ -127,7 +130,10 @@ class MetricsCollector:
         self._usage_samples: List[Tuple[float, float]] = []  # (time, weighted)
         self._cpu_samples: List[Tuple[float, float]] = []
         self._gpu_samples: List[Tuple[float, float]] = []
-        self._fragment_samples: List[float] = []
+        self._fragment_samples: List[Tuple[float, float]] = []  # (time, ratio)
+        #: cumulative (time, cold_starts, launches, warm_reuses)
+        #: snapshots; lets finalize subtract the warmup baseline.
+        self._scaling_samples: List[Tuple[float, int, int, int]] = []
 
     # ------------------------------------------------------------------
     # recording
@@ -164,7 +170,17 @@ class MetricsCollector:
         self._usage_samples.append((now, weighted))
         self._cpu_samples.append((now, cpu))
         self._gpu_samples.append((now, gpu))
-        self._fragment_samples.append(fragment_ratio)
+        self._fragment_samples.append((now, fragment_ratio))
+
+    def record_scaling_state(
+        self,
+        now: float,
+        cold_starts: int,
+        launches: int,
+        warm_reuses: int,
+    ) -> None:
+        """Snapshot the platform's *cumulative* scaling counters."""
+        self._scaling_samples.append((now, cold_starts, launches, warm_reuses))
 
     def record_scheduling_overhead(self, seconds: float) -> None:
         self.scheduling_overhead_s += seconds
@@ -211,6 +227,22 @@ class MetricsCollector:
         usage_samples = [s for s in self._usage_samples if s[0] >= warmup_s]
         cpu_samples = [s for s in self._cpu_samples if s[0] >= warmup_s]
         gpu_samples = [s for s in self._gpu_samples if s[0] >= warmup_s]
+        fragment_values = [
+            v for t, v in self._fragment_samples if t >= warmup_s
+        ]
+        # Scaling counters are cumulative snapshots; subtracting the
+        # last pre-warmup snapshot removes exactly the warmup activity
+        # (the counters only move at control ticks, when snapshots are
+        # taken).  Without snapshots the totals pass through unchanged.
+        if warmup_s > 0 and self._scaling_samples:
+            baseline = (0, 0, 0)
+            for t, cold, launch, reuse in self._scaling_samples:
+                if t >= warmup_s:
+                    break
+                baseline = (cold, launch, reuse)
+            cold_starts = max(0, cold_starts - baseline[0])
+            launches = max(0, launches - baseline[1])
+            warm_reuses = max(0, warm_reuses - baseline[2])
         duration_s = max(1e-9, duration_s - warmup_s)
         latencies = np.array([r.latency_s for r in records])
         completed = len(records)
@@ -255,8 +287,7 @@ class MetricsCollector:
             mean_weighted_usage=mean_usage,
             peak_weighted_usage=peak_usage,
             mean_fragment_ratio=(
-                float(np.mean(self._fragment_samples))
-                if self._fragment_samples else 0.0
+                float(np.mean(fragment_values)) if fragment_values else 0.0
             ),
             cold_starts=cold_starts,
             launches=launches,

@@ -25,11 +25,12 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Optional, Union
 
 import numpy as np
 
 from repro.core.instance import Instance, InstanceState
+from repro.invariants import InvariantChecker, resolve_checker
 from repro.profiling.executor import GroundTruthExecutor
 from repro.simulation.engine import EventLoop
 from repro.simulation.events import Event, EventKind
@@ -110,6 +111,11 @@ class ServingSimulation:
             so scale/cold-start decisions land in the same trace.
         timeline: optional per-control-tick metrics recorder (queue
             depths, instance counts, RPS estimate vs. oracle, usage).
+        invariants: the conservation-invariant audit layer -- a mode
+            string (``"off"``, ``"collect"``, ``"strict"``) or a
+            pre-built :class:`~repro.invariants.InvariantChecker`;
+            ``None`` resolves the process-wide default mode (off in
+            production, strict under the test suite).
         seed: randomness for arrival sampling, routing noise and
             execution-time noise.
     """
@@ -129,6 +135,7 @@ class ServingSimulation:
         end_to_end_slo_s: Optional[float] = None,
         tracer: Optional[Tracer] = None,
         timeline: Optional[TimelineRecorder] = None,
+        invariants: Union[None, str, InvariantChecker] = None,
         seed: int = 42,
     ) -> None:
         if rate_mode not in ("measured", "oracle"):
@@ -161,9 +168,13 @@ class ServingSimulation:
         if self.tracer.enabled:
             attach_tracer(platform, self.tracer)
         self.timeline = timeline
+        self.invariants = resolve_checker(invariants)
         self._rng = np.random.default_rng(seed)
         self.loop = EventLoop()
         self.metrics = MetricsCollector()
+        #: requests currently inside an executing batch; the audit
+        #: layer's request-conservation ledger needs the exact count.
+        self._executing = 0
         self._pending: Dict[str, Deque[Request]] = {
             name: deque() for name in self._managed
         }
@@ -298,7 +309,8 @@ class ServingSimulation:
 
     def _start_batch(self, instance: Instance) -> None:
         now = self.loop.now
-        requests = instance.queue.drain()
+        requests = instance.queue.drain(now)
+        self._executing += len(requests)
         instance.busy = True
         instance.idle_since = None
         model = instance.function.model
@@ -330,6 +342,7 @@ class ServingSimulation:
         batch: _BatchInFlight = event.payload
         instance = batch.instance
         now = self.loop.now
+        self._executing -= len(batch.requests)
         config = instance.config
         if (
             instance.state == InstanceState.TERMINATED
@@ -402,7 +415,7 @@ class ServingSimulation:
         # re-dispatch them to the remaining instances.
         for instance in lost:
             while instance.queue is not None and not instance.queue.is_empty:
-                for request in instance.queue.drain():
+                for request in instance.queue.drain(self.loop.now):
                     self._dispatch(request)
 
     def _forward(self, request: Request, next_stage: str) -> None:
@@ -449,6 +462,9 @@ class ServingSimulation:
             if self.timeline is not None:
                 self._sample_timeline(name, rate, action, now)
         self._sample_usage(now)
+        self._record_scaling_state(now)
+        if self.invariants.enabled:
+            self.invariants.check_tick(self, now)
         next_tick = now + self.control_interval_s
         if next_tick <= self._horizon:
             self.loop.schedule(next_tick, EventKind.CONTROL_TICK)
@@ -504,6 +520,29 @@ class ServingSimulation:
             fragment_ratio=cluster.fragment_ratio(),
         )
 
+    def _scaling_stats(self):
+        """The platform's cumulative scaling counters, wherever kept.
+
+        INFless keeps them on its autoscaler; the uniform baselines
+        keep them on the platform itself.
+        """
+        autoscaler_stats = getattr(
+            getattr(self.platform, "autoscaler", None), "stats", None
+        )
+        if autoscaler_stats is not None:
+            return autoscaler_stats
+        return getattr(self.platform, "stats", None)
+
+    def _record_scaling_state(self, now: float) -> None:
+        stats = self._scaling_stats()
+        if stats is not None:
+            self.metrics.record_scaling_state(
+                now,
+                cold_starts=stats.cold_starts,
+                launches=stats.launches,
+                warm_reuses=stats.warm_reuses,
+            )
+
     # ------------------------------------------------------------------
     # entry point
     # ------------------------------------------------------------------
@@ -513,8 +552,10 @@ class ServingSimulation:
         self.loop.schedule(0.0, EventKind.CONTROL_TICK)
         self.loop.run()
         self._sample_usage(self.loop.now)
-        stats = getattr(getattr(self.platform, "autoscaler", None), "stats", None)
-        return self.metrics.finalize(
+        if self.invariants.enabled:
+            self.invariants.check_final(self, self.loop.now)
+        stats = self._scaling_stats()
+        report = self.metrics.finalize(
             duration_s=self._horizon,
             warmup_s=self.warmup_s,
             cold_starts=getattr(stats, "cold_starts", 0),
@@ -524,3 +565,9 @@ class ServingSimulation:
                 stats, "reserved_idle_resource_s", 0.0
             ),
         )
+        if self.invariants.enabled:
+            self.invariants.check_report(self, report)
+            report.invariant_violations = [
+                v.to_dict() for v in self.invariants.violations
+            ]
+        return report

@@ -26,7 +26,7 @@ class TestRateBounds:
     def test_batch_one_only_needs_slo(self):
         # For b=1 only t_exec <= t_slo matters (Algorithm 1 lines 20-22).
         bounds = rate_bounds(t_exec=0.15, t_slo=0.2, batch=1)
-        assert bounds.r_up == 6.0
+        assert bounds.r_up == pytest.approx(1 / 0.15)
 
     def test_batch_one_over_slo_infeasible(self):
         with pytest.raises(InfeasibleBatchError):
@@ -58,6 +58,24 @@ class TestRateBounds:
         assert bounds.contains(25.0)
         assert not bounds.contains(41.0)
 
+    def test_slow_batches_keep_positive_capacity(self):
+        """Regression: ``t_exec >= 1s`` used to floor ``r_up`` to zero.
+
+        A zero-capacity instance never reduces the scheduler's residual
+        load, so GreedyScheduler.schedule would fill the whole cluster
+        with useless instances.  The un-floored per-second rate keeps
+        every feasible configuration's capacity positive.
+        """
+        bounds = rate_bounds(t_exec=1.5, t_slo=4.0, batch=4)
+        assert bounds.r_up > 0.0
+        assert bounds.r_low <= bounds.r_up
+        assert bounds.r_up == pytest.approx(4 / 1.5)
+
+    def test_slow_single_request_keeps_positive_capacity(self):
+        bounds = rate_bounds(t_exec=1.5, t_slo=4.0, batch=1)
+        assert bounds.r_up == pytest.approx(1 / 1.5)
+        assert bounds.r_up > 0.0
+
     @given(
         t_exec=st.floats(0.001, 0.099),
         batch=st.sampled_from([2, 4, 8, 16, 32]),
@@ -65,6 +83,20 @@ class TestRateBounds:
     @settings(max_examples=100, deadline=None)
     def test_low_never_exceeds_up_when_feasible(self, t_exec, batch):
         bounds = rate_bounds(t_exec=t_exec, t_slo=0.2, batch=batch)
+        assert bounds.r_low <= bounds.r_up
+
+    @given(
+        t_exec=st.floats(0.01, 10.0),
+        slack=st.floats(1.0, 4.0),
+        batch=st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_feasible_configs_always_have_positive_capacity(
+        self, t_exec, slack, batch
+    ):
+        """Any (t_exec, t_slo, b) that passes feasibility has r_up > 0."""
+        bounds = rate_bounds(t_exec=t_exec, t_slo=t_exec * 2 * slack, batch=batch)
+        assert bounds.r_up > 0.0
         assert bounds.r_low <= bounds.r_up
 
     @given(batch=st.sampled_from([1, 2, 4, 8]))
@@ -123,6 +155,33 @@ class TestBatchQueue:
             queue.enqueue(_Req(arrival), now=arrival)
         queue.drain()
         assert queue.deadline() == pytest.approx(1.7)
+
+    def test_drain_fallback_uses_drain_time_not_previous_batch(self):
+        """Regression: back-to-back batches of arrival-less payloads.
+
+        When the new head-of-queue object carries no ``arrival``
+        attribute, the timeout clock used to keep the *previous*
+        batch's oldest arrival, making the next deadline spuriously
+        early (often already in the past).  It must restart from the
+        drain time instead.
+        """
+        queue = BatchQueue(batch_size=2, timeout_s=1.0)
+        queue.enqueue(object(), now=0.0)
+        queue.enqueue(object(), now=0.0)
+        queue.enqueue(object(), now=5.0)
+        queue.drain(now=5.0)
+        assert queue.deadline() == pytest.approx(6.0)
+        assert queue.should_flush(now=6.0)
+        assert not queue.should_flush(now=5.5)
+
+    def test_back_to_back_batches_restart_clock_from_head_arrival(self):
+        """Full batch drains; the very next batch's deadline must come
+        from the new head's own arrival, not the drained batch's."""
+        queue = BatchQueue(batch_size=2, timeout_s=1.0)
+        for arrival in (0.0, 0.1, 0.9):
+            queue.enqueue(_Req(arrival), now=arrival)
+        queue.drain(now=0.1)
+        assert queue.deadline() == pytest.approx(1.9)
 
     def test_drain_empties_clock(self):
         queue = BatchQueue(batch_size=4, timeout_s=1.0)

@@ -38,7 +38,13 @@ class TestAvailableConfig:
 
     def test_results_cached_per_function_batch(self, scheduler, resnet_fn):
         scheduler.available_configs(resnet_fn, batch=8, residual_rps=100.0)
-        assert (resnet_fn.name, 8) in scheduler._config_cache
+        key = (
+            resnet_fn.name,
+            resnet_fn.model.name,
+            resnet_fn.slo_s,
+            8,
+        )
+        assert key in scheduler._config_cache
 
 
 class TestSchedule:
@@ -118,6 +124,97 @@ class TestSchedule:
         fn = FunctionSpec.for_model("mnist", slo_s=0.02)
         outcome = scheduler.schedule(fn, 100.0)
         assert outcome.leftover_rps == 0.0
+
+
+class TestConfigCacheKey:
+    """Regression: the cache key was (name, batch), so two specs that
+    share a name (ablation sweeps reuse schedulers) silently reused
+    each other's feasibility rows and rate bounds."""
+
+    def test_cache_distinguishes_slo(self, cluster, predictor):
+        scheduler = GreedyScheduler(cluster, predictor)
+        loose = FunctionSpec.for_model("resnet-50", slo_s=0.4, name="shared")
+        tight = FunctionSpec.for_model("resnet-50", slo_s=0.05, name="shared")
+        scheduler.available_configs(loose, batch=8, residual_rps=1e6)
+        rows = scheduler.available_configs(tight, batch=8, residual_rps=1e6)
+        for _config, t_exec, _bounds in rows:
+            assert t_exec <= tight.slo_s / 2
+
+    def test_cache_distinguishes_model(self, cluster, predictor):
+        scheduler = GreedyScheduler(cluster, predictor)
+        heavy = FunctionSpec.for_model("resnet-50", slo_s=0.2, name="shared")
+        light = FunctionSpec.for_model("mnist", slo_s=0.2, name="shared")
+        scheduler.available_configs(heavy, batch=8, residual_rps=1e6)
+        rows = scheduler.available_configs(light, batch=8, residual_rps=1e6)
+        fresh = GreedyScheduler(cluster, predictor).available_configs(
+            light, batch=8, residual_rps=1e6
+        )
+        assert [(c, t) for c, t, _b in rows] == [(c, t) for c, t, _b in fresh]
+
+    def test_cached_bounds_match_own_slo(self, cluster, predictor):
+        from repro.core.batching import rate_bounds
+
+        scheduler = GreedyScheduler(cluster, predictor)
+        first = FunctionSpec.for_model("resnet-50", slo_s=0.4, name="shared")
+        second = FunctionSpec.for_model("resnet-50", slo_s=0.2, name="shared")
+        scheduler.available_configs(first, batch=4, residual_rps=1e6)
+        for _config, t_exec, bounds in scheduler.available_configs(
+            second, batch=4, residual_rps=1e6
+        ):
+            expected = rate_bounds(t_exec, second.slo_s, 4)
+            assert bounds.r_up == pytest.approx(expected.r_up)
+            assert bounds.r_low == pytest.approx(expected.r_low)
+
+
+class TestDynamicBetaIndexConsistency:
+    """Regression: the best-fit server index was keyed with the static
+    ``cluster.beta`` while e_ij scoring used the dynamic beta, so the
+    best-fit shortcut no longer returned the argmax server."""
+
+    def _skew_free_ratio(self, cluster):
+        # Consume CPU-only capacity so free_gpu / free_cpu diverges
+        # from the static capacity ratio the cluster was built with.
+        from repro.cluster.resources import ResourceVector
+
+        cluster.allocate(0, ResourceVector(cpu=12, memory_mb=1024))
+        cluster.allocate(1, ResourceVector(cpu=8, gpu=60, memory_mb=1024))
+
+    def test_free_index_keyed_with_efficiency_beta(self, cluster, predictor):
+        scheduler = GreedyScheduler(cluster, predictor, dynamic_beta=True)
+        self._skew_free_ratio(cluster)
+        beta = scheduler._efficiency_beta()
+        assert beta != pytest.approx(cluster.beta)
+        index = scheduler._sorted_free()
+        expected = sorted(
+            (server.weighted_free(beta), server.server_id)
+            for server in cluster.servers
+        )
+        assert index == pytest.approx(expected)
+
+    def test_index_rekeyed_after_placements_change_beta(
+        self, cluster, predictor
+    ):
+        scheduler = GreedyScheduler(cluster, predictor, dynamic_beta=True)
+        self._skew_free_ratio(cluster)
+        fn = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+        scheduler.schedule(fn, residual_rps=400.0)
+        beta = scheduler._efficiency_beta()
+        index = scheduler._sorted_free()
+        expected = sorted(
+            (server.weighted_free(beta), server.server_id)
+            for server in cluster.servers
+        )
+        assert index == pytest.approx(expected)
+
+    def test_static_beta_index_unchanged(self, cluster, predictor):
+        scheduler = GreedyScheduler(cluster, predictor, dynamic_beta=False)
+        self._skew_free_ratio(cluster)
+        index = scheduler._sorted_free()
+        expected = sorted(
+            (server.weighted_free(cluster.beta), server.server_id)
+            for server in cluster.servers
+        )
+        assert index == pytest.approx(expected)
 
 
 class TestDynamicBeta:

@@ -164,6 +164,49 @@ class TestMetricsCollector:
         assert report.violation_rate == 0.0
         assert report.normalized_throughput == 0.0
 
+    def test_fragment_samples_respect_warmup(self):
+        """Regression: fragment samples were never filtered by warmup_s
+        (unlike usage/cpu/gpu samples), skewing Fig. 12/14 metrics."""
+        collector = MetricsCollector()
+        collector.record_usage(0.0, weighted=1.0, cpu=1, gpu=0,
+                               fragment_ratio=1.0)
+        collector.record_usage(50.0, weighted=1.0, cpu=1, gpu=0,
+                               fragment_ratio=0.0)
+        collector.record_usage(80.0, weighted=1.0, cpu=1, gpu=0,
+                               fragment_ratio=0.0)
+        report = collector.finalize(duration_s=100.0, warmup_s=30.0)
+        assert report.mean_fragment_ratio == pytest.approx(0.0)
+
+    def test_scaling_counters_respect_warmup(self):
+        """Regression: cold_starts/launches/warm_reuses included warmup
+        activity even when every other statistic excluded it."""
+        collector = MetricsCollector()
+        collector.record_scaling_state(
+            0.0, cold_starts=3, launches=4, warm_reuses=1
+        )
+        collector.record_scaling_state(
+            40.0, cold_starts=5, launches=7, warm_reuses=2
+        )
+        report = collector.finalize(
+            duration_s=100.0, warmup_s=30.0,
+            cold_starts=5, launches=7, warm_reuses=2,
+        )
+        assert report.cold_starts == 2
+        assert report.launches == 3
+        assert report.warm_reuses == 1
+
+    def test_scaling_counters_unfiltered_without_warmup(self):
+        collector = MetricsCollector()
+        collector.record_scaling_state(
+            0.0, cold_starts=3, launches=4, warm_reuses=1
+        )
+        report = collector.finalize(
+            duration_s=100.0, cold_starts=3, launches=4, warm_reuses=1
+        )
+        assert report.cold_starts == 3
+        assert report.launches == 4
+        assert report.warm_reuses == 1
+
 
 def build_sim(rps=200.0, duration=60.0, predictor=None, executor=None, **kwargs):
     engine = INFlessEngine(build_testbed_cluster(), predictor=predictor)
@@ -198,6 +241,19 @@ class TestServingSimulation:
         sim, _fn = build_sim(predictor=predictor, executor=executor)
         report = sim.run()
         assert max(report.batch_histogram) > 1
+
+    def test_cold_start_counters_exclude_warmup(self, predictor, executor):
+        """End to end: the initial cold-start transient (every fresh
+        platform launches its first instances during warmup) must not
+        appear in the report's scaling counters."""
+        sim, _fn = build_sim(
+            predictor=predictor, executor=executor, warmup_s=30.0
+        )
+        report = sim.run()
+        stats = sim.platform.autoscaler.stats
+        assert stats.cold_starts > 0
+        assert report.cold_starts < stats.cold_starts
+        assert report.launches < stats.launches
 
     def test_deterministic_given_seed(self, predictor, executor):
         first, _ = build_sim(predictor=predictor, executor=executor)
