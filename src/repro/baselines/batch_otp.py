@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.common import UniformScalingPlatform
 from repro.cluster.cluster import Cluster
-from repro.core.batching import InfeasibleBatchError, rate_bounds
+from repro.core.batching import cached_rate_bounds
 from repro.core.function import FunctionSpec
 from repro.profiling.configspace import ConfigSpace, InstanceConfig
 from repro.profiling.predictor import LatencyPredictor
@@ -89,9 +89,8 @@ class BatchOTP(UniformScalingPlatform):
                 continue
             for cpu, gpu in OTP_RESOURCE_TIERS:
                 t_exec = self.predictor.predict(function.model, batch, cpu, gpu)
-                try:
-                    bounds = rate_bounds(t_exec, slo_eff, batch)
-                except InfeasibleBatchError:
+                bounds = cached_rate_bounds(t_exec, slo_eff, batch)
+                if bounds is None:
                     continue
                 if batch > 1 and rps > 0 and rps < bounds.r_low:
                     continue  # batch cannot saturate at this load

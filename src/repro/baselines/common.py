@@ -83,6 +83,11 @@ class UniformScalingPlatform:
         self._active: Dict[str, List[Instance]] = {}
         self._warm: Dict[str, List[_WarmEntry]] = {}
         self._rng = np.random.default_rng(seed)
+        # name -> (state version, valid-until, pool).  The router's
+        # candidate pool only changes at control steps / failures
+        # (version bump) or when a cold start finishes (valid-until).
+        self._route_cache: Dict[str, tuple] = {}
+        self._route_version = 0
         #: telemetry hooks, so baselines emit traces comparable to
         #: INFless's (attached by the serving runtime when recording).
         self.tracer: Tracer = NULL_TRACER
@@ -122,14 +127,37 @@ class UniformScalingPlatform:
         """Fixed keep-alive platforms keep no invocation history."""
 
     def route(self, name: str, now: float) -> Optional[Instance]:
-        """Uniform platforms spread load evenly over ready instances."""
-        candidates = [
-            inst for inst in self._active.get(name, []) if inst.is_dispatchable()
-        ]
-        if not candidates:
+        """Uniform platforms spread load evenly over ready instances.
+
+        The pool is cached between control steps (see INFless's router
+        for the invalidation rule); the uniform RNG draw still happens
+        once per request so seeded replays stay bit-identical.
+        """
+        cached = self._route_cache.get(name)
+        if (
+            cached is not None
+            and cached[0] == self._route_version
+            and now < cached[1]
+        ):
+            pool = cached[2]
+        else:
+            candidates = [
+                inst
+                for inst in self._active.get(name, [])
+                if inst.is_dispatchable()
+            ]
+            valid_until = min(
+                (inst.ready_at for inst in candidates if inst.ready_at > now),
+                default=float("inf"),
+            )
+            if candidates:
+                ready = [inst for inst in candidates if now >= inst.ready_at]
+                pool = ready or candidates
+            else:
+                pool = None
+            self._route_cache[name] = (self._route_version, valid_until, pool)
+        if pool is None:
             return None
-        ready = [inst for inst in candidates if now >= inst.ready_at]
-        pool = ready or candidates
         return pool[int(self._rng.integers(len(pool)))]
 
     # ------------------------------------------------------------------
@@ -222,6 +250,7 @@ class UniformScalingPlatform:
     # the control step
     # ------------------------------------------------------------------
     def control(self, name: str, rps: float, now: float) -> BaselineAction:
+        self._route_version += 1
         self._expire_warm(now)
         function = self._functions[name]
         active = self._active[name]
@@ -304,6 +333,7 @@ class UniformScalingPlatform:
     # ------------------------------------------------------------------
     def handle_server_failure(self, server_id: int, now: float) -> List[Instance]:
         """Terminate instances lost with a failed machine."""
+        self._route_version += 1
         lost_ids = {
             placement.placement_id
             for placement in self.cluster.fail_server(server_id)

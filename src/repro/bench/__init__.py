@@ -1,0 +1,49 @@
+"""repro.bench -- the performance harness of the reproduction.
+
+The simulator is the instrument every figure of the paper is measured
+with, so its own speed bounds how fast we can iterate on the
+reproduction (the same concern INFless's Fig. 17 raises for its
+scheduler).  This package defines the repo's perf trajectory:
+
+* **micro-benchmarks** isolate one hot path each -- event-queue churn,
+  the greedy scheduler's configuration search, `BatchQueue`
+  admission/drain, and the invariant-audit tick;
+* **macro-benchmarks** time two full paper artifacts -- the Fig. 12
+  trace replay and the Fig. 18 large-scale provisioning sweep;
+* every run reports wall-time, processed events (or operations) per
+  second and peak RSS, and can be appended to the checked-in
+  ``BENCH_sim_core.json`` (one entry per commit, schema-versioned).
+
+Run it with ``python -m repro.cli bench`` (add ``--quick`` for the CI
+smoke mode); see ``docs/benchmarks.md`` for how to read the numbers.
+"""
+
+from repro.bench.harness import BenchResult, measure, peak_rss_mb
+from repro.bench.store import (
+    SCHEMA_VERSION,
+    append_entry,
+    load_store,
+    make_entry,
+    save_store,
+)
+from repro.bench.suites import (
+    BENCHMARKS,
+    MACRO_BENCHMARKS,
+    MICRO_BENCHMARKS,
+    run_suite,
+)
+
+__all__ = [
+    "BenchResult",
+    "measure",
+    "peak_rss_mb",
+    "SCHEMA_VERSION",
+    "append_entry",
+    "load_store",
+    "make_entry",
+    "save_store",
+    "BENCHMARKS",
+    "MICRO_BENCHMARKS",
+    "MACRO_BENCHMARKS",
+    "run_suite",
+]

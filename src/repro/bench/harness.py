@@ -1,0 +1,104 @@
+"""Measurement core of the ``repro.bench`` harness.
+
+One benchmark is a zero-argument callable returning the number of
+simulated events (or primitive operations) it processed; the harness
+wraps it with wall-clock timing, an events-per-second rate and a peak
+RSS reading, producing a :class:`BenchResult` row.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    Uses ``getrusage`` (Linux reports KiB, macOS bytes).  The value is
+    a high-water mark over the whole process lifetime, so a benchmark's
+    reading is an upper bound: memory peaks of *earlier* benchmarks in
+    the same process carry over.  Returns 0.0 where unavailable.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's measurement.
+
+    Attributes:
+        name: benchmark identifier (stable across commits).
+        wall_s: wall-clock seconds of the measured callable.
+        events: simulated events / operations the callable reported.
+        events_per_s: ``events / wall_s`` (0 when either is 0).
+        peak_rss_mb: process peak RSS after the run (high-water mark,
+            see :func:`peak_rss_mb`).
+        meta: free-form benchmark parameters (workload sizes, modes).
+    """
+
+    name: str
+    wall_s: float
+    events: int
+    events_per_s: float
+    peak_rss_mb: float
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of this row."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "events_per_s": self.events_per_s,
+            "peak_rss_mb": self.peak_rss_mb,
+            "meta": dict(self.meta),
+        }
+
+    def format_row(self) -> str:
+        """One human-readable summary line."""
+        return (
+            f"{self.name:<28} {self.wall_s:>9.3f}s"
+            f" {self.events:>10,d} ev {self.events_per_s:>12,.0f} ev/s"
+            f" {self.peak_rss_mb:>8.1f} MiB"
+        )
+
+
+def measure(
+    name: str,
+    fn: Callable[[], int],
+    meta: Optional[Dict[str, object]] = None,
+) -> BenchResult:
+    """Time one benchmark callable and wrap the reading.
+
+    Args:
+        name: stable benchmark identifier.
+        fn: the workload; must return the event/operation count it
+            processed (used for the events-per-second rate).
+        meta: benchmark parameters recorded alongside the numbers.
+
+    A full ``gc.collect()`` runs before timing so earlier benchmarks'
+    garbage does not bill its collection to this one.
+    """
+    gc.collect()
+    started = time.perf_counter()
+    events = int(fn())
+    wall = time.perf_counter() - started
+    return BenchResult(
+        name=name,
+        wall_s=wall,
+        events=events,
+        events_per_s=events / wall if wall > 0 and events else 0.0,
+        peak_rss_mb=peak_rss_mb(),
+        meta=dict(meta or {}),
+    )

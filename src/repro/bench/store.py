@@ -1,0 +1,107 @@
+"""The checked-in perf trajectory: ``BENCH_sim_core.json``.
+
+The store is a schema-versioned JSON document holding one entry per
+commit (re-running on the same commit replaces its entry).  Each entry
+records the environment (python, platform), a free-form label and the
+:class:`~repro.bench.harness.BenchResult` rows keyed by benchmark
+name, so ``docs/benchmarks.md``'s "no worse than seed" rule can be
+checked mechanically across the history.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import BenchResult
+
+#: bump when the entry layout changes; readers must check it.
+SCHEMA_VERSION = 1
+
+#: default store location: the repository root.
+DEFAULT_STORE = Path(__file__).resolve().parents[3] / "BENCH_sim_core.json"
+
+
+def current_commit(cwd: Optional[Path] = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd or DEFAULT_STORE.parent),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip()
+
+
+def load_store(path: Optional[Path] = None) -> Dict[str, object]:
+    """Read the store, or an empty schema-stamped document."""
+    path = Path(path or DEFAULT_STORE)
+    if not path.exists():
+        return {"schema": SCHEMA_VERSION, "entries": []}
+    with path.open() as handle:
+        store = json.load(handle)
+    schema = store.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {schema!r} unsupported"
+            f" (this reader handles {SCHEMA_VERSION})"
+        )
+    return store
+
+
+def save_store(store: Dict[str, object], path: Optional[Path] = None) -> Path:
+    """Write the store back (sorted keys, trailing newline)."""
+    path = Path(path or DEFAULT_STORE)
+    path.write_text(json.dumps(store, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def make_entry(
+    results: Sequence[BenchResult],
+    label: str = "",
+    commit: Optional[str] = None,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Build one store entry from a suite's results."""
+    return {
+        "commit": commit if commit is not None else current_commit(),
+        "label": label,
+        "quick": quick,
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": {result.name: result.to_dict() for result in results},
+    }
+
+
+def append_entry(
+    store: Dict[str, object], entry: Dict[str, object]
+) -> List[Dict[str, object]]:
+    """Add an entry, replacing any same-commit, same-mode entry.
+
+    One entry per (commit, quick-mode) pair: re-running a suite on the
+    same commit updates its numbers instead of duplicating the row.
+    Entries whose label marks them as a kept baseline (containing
+    ``"baseline"``) are never replaced.
+    """
+    entries = store.setdefault("entries", [])
+    key = (entry.get("commit"), entry.get("quick", False))
+    store["entries"] = [
+        existing
+        for existing in entries
+        if (existing.get("commit"), existing.get("quick", False)) != key
+        or "baseline" in str(existing.get("label", ""))
+    ]
+    store["entries"].append(entry)
+    return store["entries"]

@@ -1,0 +1,291 @@
+"""The benchmark suite: micro hot paths and macro paper artifacts.
+
+Micro-benchmarks isolate one simulator hot path each; the two macro
+benchmarks replay scaled-down versions of the paper's Fig. 12 trace
+experiment and Fig. 18 large-scale provisioning sweep.  Every
+benchmark has a ``quick`` mode small enough for a CI smoke run.
+
+The COP predictor (the expensive *offline* profiling step) is warmed
+before any timing starts: the production system profiles models ahead
+of deployment, so cache population is not part of the serving-path
+cost being tracked here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.harness import BenchResult, measure
+
+#: mean RPS of the Fig. 12 macro trace replay.
+FIG12_MEAN_RPS = 300.0
+
+#: fleet sizes swept by the Fig. 18 macro benchmark.
+FIG18_COUNTS_QUICK: Sequence[int] = (10, 20)
+FIG18_COUNTS_FULL: Sequence[int] = (10, 20, 30, 40)
+
+
+# ----------------------------------------------------------------------
+# micro-benchmarks
+# ----------------------------------------------------------------------
+def bench_event_queue(quick: bool = False) -> int:
+    """Event-queue churn: schedule/pop pressure on the event loop.
+
+    Half the events are pre-scheduled with interleaved (non-monotonic)
+    timestamps; each processed arrival schedules one follow-up until
+    the budget drains, mixing near-future pushes into an aged heap the
+    way batch timeouts and completions do in a real replay.
+    """
+    from repro.simulation.engine import EventLoop
+    from repro.simulation.events import EventKind
+
+    total = 100_000 if quick else 400_000
+    loop = EventLoop()
+    budget = total // 2
+
+    def on_arrival(event) -> None:
+        """Consume one arrival; reschedule a near-future follow-up."""
+        nonlocal budget
+        if budget > 0:
+            budget -= 1
+            loop.schedule(loop.now + 0.0015, EventKind.BATCH_TIMEOUT, None)
+
+    loop.on(EventKind.ARRIVAL, on_arrival)
+    loop.on(EventKind.BATCH_TIMEOUT, lambda event: None)
+    for index in range(total // 2):
+        # Deterministic, deliberately non-monotonic schedule order.
+        time = (index % 977) * 0.01 + index * 1e-6
+        loop.schedule(time, EventKind.ARRIVAL, index)
+    loop.run()
+    return loop.processed
+
+
+def bench_scheduler_search(quick: bool = False) -> int:
+    """Algorithm 1's configuration search over a synthetic fleet.
+
+    Fresh cluster and scheduler per round (cold config caches, cold
+    free-capacity index), shared warm predictor; returns the number of
+    instances placed across rounds.
+    """
+    from repro.cluster import build_testbed_cluster
+    from repro.core.scheduler import GreedyScheduler
+    from repro.profiling import build_default_predictor
+    from repro.simulation.largescale import make_function_fleet
+
+    predictor = build_default_predictor()
+    rounds = 2 if quick else 6
+    fleet = make_function_fleet(12)
+    placed = 0
+    for _round in range(rounds):
+        cluster = build_testbed_cluster(num_servers=32)
+        scheduler = GreedyScheduler(cluster, predictor)
+        for function in fleet:
+            outcome = scheduler.schedule(function, 400.0)
+            placed += len(outcome.instances)
+    return placed
+
+
+class _QueuedRequest:
+    """Minimal batch-queue payload carrying only an arrival time."""
+
+    __slots__ = ("arrival",)
+
+    def __init__(self, arrival: float) -> None:
+        self.arrival = arrival
+
+
+def bench_batch_queue(quick: bool = False) -> int:
+    """`BatchQueue` admission and drain churn (Fig. 6a mechanics)."""
+    from repro.core.batching import BatchQueue
+
+    n = 100_000 if quick else 400_000
+    queue = BatchQueue(batch_size=8, timeout_s=0.05)
+    ops = 0
+    now = 0.0
+    for _index in range(n):
+        now += 1e-4
+        queue.enqueue(_QueuedRequest(now), now)
+        ops += 1
+        if queue.should_flush(now):
+            ops += len(queue.drain(now))
+    while not queue.is_empty:
+        ops += len(queue.drain(now))
+    return ops
+
+
+def bench_invariant_tick(quick: bool = False) -> int:
+    """Cost of one conservation-audit control tick, repeated.
+
+    Runs a small serving simulation to completion, then re-runs the
+    per-tick audit (request/resource conservation plus scheduler
+    soundness) against the final state; returns the tick count.
+    """
+    from repro.invariants import InvariantChecker
+
+    sim = _small_simulation(duration_s=20.0)
+    sim.run()
+    checker = InvariantChecker(mode="collect")
+    ticks = 300 if quick else 1500
+    for _tick in range(ticks):
+        checker.check_tick(sim, sim.loop.now)
+    return ticks
+
+
+# ----------------------------------------------------------------------
+# macro-benchmarks
+# ----------------------------------------------------------------------
+def bench_fig12_trace(quick: bool = False) -> int:
+    """The Fig. 12 trace replay: OSVT app on a bursty trace, INFless.
+
+    A scaled-down version of ``benchmarks/bench_fig12a_traces.py``'s
+    experiment; returns the discrete events processed.
+    """
+    from repro.cluster import build_testbed_cluster
+    from repro.core import INFlessEngine
+    from repro.profiling import GroundTruthExecutor, build_default_predictor
+    from repro.simulation import ServingSimulation
+    from repro.workloads import build_osvt
+    from repro.workloads.generators import bursty_trace
+
+    duration_s = 60.0 if quick else 240.0
+    trace = bursty_trace(
+        FIG12_MEAN_RPS,
+        duration_s,
+        period_s=duration_s,
+        burst_rate_per_hour=30.0,
+        burst_duration_s=30.0,
+        seed=22,
+    )
+    app = build_osvt()
+    workload = {
+        name: trace.with_mean(rps)
+        for name, rps in app.rps_split(trace.mean_rps).items()
+    }
+    engine = INFlessEngine(
+        build_testbed_cluster(), predictor=build_default_predictor()
+    )
+    for function in app.functions:
+        engine.deploy(function)
+    simulation = ServingSimulation(
+        platform=engine,
+        executor=GroundTruthExecutor(),
+        workload=workload,
+        warmup_s=10.0,
+        invariants="off",
+        seed=5,
+    )
+    simulation.run()
+    return simulation.loop.processed
+
+
+def bench_fig18_largescale(quick: bool = False) -> int:
+    """The Fig. 18 sweep: provision a fleet on a large cluster.
+
+    Runs the platforms' real scheduling code (INFless and BATCH)
+    against a programmatically scaled cluster, as the paper's
+    large-scale methodology does; returns instances provisioned.
+    """
+    from repro.baselines import BatchOTP
+    from repro.core import INFlessEngine
+    from repro.profiling import build_default_predictor
+    from repro.simulation.largescale import throughput_vs_functions
+
+    predictor = build_default_predictor()
+    num_servers = 250 if quick else 1000
+    counts = FIG18_COUNTS_QUICK if quick else FIG18_COUNTS_FULL
+    base_rps = 1500.0 if quick else 3000.0
+    results = throughput_vs_functions(
+        {
+            "infless": lambda c: INFlessEngine(c, predictor=predictor),
+            "batch": lambda c: BatchOTP(c, predictor),
+        },
+        function_counts=counts,
+        num_servers=num_servers,
+        base_rps=base_rps,
+    )
+    return sum(
+        result.instances
+        for series in results.values()
+        for _count, result in series
+    )
+
+
+# ----------------------------------------------------------------------
+# suite plumbing
+# ----------------------------------------------------------------------
+def _small_simulation(duration_s: float = 20.0):
+    """A small seeded serving run shared by micro-benchmarks."""
+    from repro.cluster import build_testbed_cluster
+    from repro.core import FunctionSpec, INFlessEngine
+    from repro.profiling import GroundTruthExecutor, build_default_predictor
+    from repro.simulation import ServingSimulation
+    from repro.workloads import constant_trace
+
+    engine = INFlessEngine(
+        build_testbed_cluster(num_servers=4),
+        predictor=build_default_predictor(),
+    )
+    function = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+    engine.deploy(function)
+    return ServingSimulation(
+        platform=engine,
+        executor=GroundTruthExecutor(),
+        workload={function.name: constant_trace(100.0, duration_s)},
+        invariants="off",
+        seed=7,
+    )
+
+
+MICRO_BENCHMARKS: Dict[str, Callable[[bool], int]] = {
+    "event_queue": bench_event_queue,
+    "scheduler_search": bench_scheduler_search,
+    "batch_queue": bench_batch_queue,
+    "invariant_tick": bench_invariant_tick,
+}
+
+MACRO_BENCHMARKS: Dict[str, Callable[[bool], int]] = {
+    "fig12_trace": bench_fig12_trace,
+    "fig18_largescale": bench_fig18_largescale,
+}
+
+BENCHMARKS: Dict[str, Callable[[bool], int]] = {
+    **MICRO_BENCHMARKS,
+    **MACRO_BENCHMARKS,
+}
+
+
+def _warm_shared_caches() -> None:
+    """Populate offline caches before any benchmark is timed.
+
+    The COP predictor's profile database is the paper's ahead-of-time
+    profiling step; building it inside a timed region would swamp the
+    serving-path costs the suite tracks.
+    """
+    from repro.profiling import build_default_predictor
+
+    build_default_predictor()
+
+
+def run_suite(
+    quick: bool = False,
+    names: Optional[Sequence[str]] = None,
+) -> List[BenchResult]:
+    """Run the selected benchmarks and return their results.
+
+    Args:
+        quick: use the CI smoke sizes (seconds, not minutes).
+        names: subset of :data:`BENCHMARKS` keys; all when omitted.
+    """
+    selected = list(names) if names else list(BENCHMARKS)
+    unknown = [name for name in selected if name not in BENCHMARKS]
+    if unknown:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise KeyError(f"unknown benchmark(s) {unknown}; known: {known}")
+    _warm_shared_caches()
+    results = []
+    for name in selected:
+        fn = BENCHMARKS[name]
+        results.append(
+            measure(name, lambda fn=fn: fn(quick), meta={"quick": quick})
+        )
+    return results

@@ -9,6 +9,7 @@ Usage::
         --trace-out run.jsonl --timeline-out run.csv --output json
     python -m repro.cli trace-summary run.jsonl
     python -m repro.cli coldstart --days 2
+    python -m repro.cli bench --quick event_queue fig18_largescale
 
 Every subcommand prints a small table (or JSON with ``--output
 json``); the heavier experiment harness lives under ``benchmarks/``.
@@ -269,6 +270,35 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the ``repro.bench`` suite; optionally update the perf store."""
+    from repro import bench
+
+    names = args.names or None
+    try:
+        results = bench.run_suite(quick=args.quick, names=names)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    if args.output == "json":
+        print(json.dumps(
+            [result.to_dict() for result in results], indent=2, sort_keys=True
+        ))
+    else:
+        for result in results:
+            print(result.format_row())
+    if args.update_store:
+        path = args.store
+        store = bench.load_store(path)
+        entry = bench.make_entry(
+            results, label=args.label, quick=args.quick
+        )
+        bench.append_entry(store, entry)
+        written = bench.save_store(store, path)
+        print(f"recorded {len(results)} result(s) in {written}", file=sys.stderr)
+    return 0
+
+
 def _cmd_coldstart(args: argparse.Namespace) -> int:
     fleet = coldstart_fleet_invocations(duration_s=args.days * 86400.0)
     policies = [
@@ -343,6 +373,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", choices=("table", "json"), default="table"
     )
 
+    bench = sub.add_parser(
+        "bench", help="simulator performance benchmarks (repro.bench)"
+    )
+    bench.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="benchmark subset (default: the whole suite); see"
+             " docs/benchmarks.md for the catalog",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizes: seconds instead of minutes",
+    )
+    bench.add_argument(
+        "--output", choices=("table", "json"), default="table"
+    )
+    bench.add_argument(
+        "--update-store", action="store_true",
+        help="append/replace this commit's entry in the perf store",
+    )
+    bench.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="perf store path (default: BENCH_sim_core.json at repo root)",
+    )
+    bench.add_argument(
+        "--label", default="",
+        help="free-form label recorded with the store entry",
+    )
+
     coldstart = sub.add_parser("coldstart", help="keep-alive policy study")
     coldstart.add_argument("--days", type=float, default=2.0)
     coldstart.add_argument("--gamma", type=float, default=0.5)
@@ -362,6 +420,7 @@ _COMMANDS = {
     "capacity": _cmd_capacity,
     "simulate": _cmd_simulate,
     "trace-summary": _cmd_trace_summary,
+    "bench": _cmd_bench,
     "coldstart": _cmd_coldstart,
     "plan": _cmd_plan,
 }

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.cluster.resources import BETA, ResourceVector
 from repro.cluster.server import AllocationError, Server
@@ -44,6 +46,59 @@ class Cluster:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate server ids in cluster")
         self._by_id = {server.server_id: server for server in self.servers}
+        # Incrementally-maintained free-pool aggregates.  At cluster
+        # scale the scheduler re-prices its CPU<->GPU conversion factor
+        # and rebuilds its free-capacity index after *every* placement;
+        # summing per-server free pools there is O(servers) per
+        # placement, i.e. quadratic over a provisioning sweep.  All
+        # resource mutations flow through allocate/release/
+        # recover_server below, which keep these exact.  Like the
+        # per-server iteration they replace, the aggregates span every
+        # server regardless of health (a failed machine keeps its free
+        # counters; can_fit() is what rejects it).
+        self._index_of = {
+            server.server_id: index
+            for index, server in enumerate(self.servers)
+        }
+        self._ids_arr = np.array(ids, dtype=np.int64)
+        self._cpu_free_arr = np.array(
+            [server.cpu_free for server in self.servers], dtype=np.float64
+        )
+        self._gpu_free_arr = np.array(
+            [server.gpu_free for server in self.servers], dtype=np.float64
+        )
+        self._free_cpu_total = int(sum(s.cpu_free for s in self.servers))
+        self._free_gpu_total = int(sum(s.gpu_free for s in self.servers))
+
+    def _sync_server_free(self, server: Server) -> None:
+        index = self._index_of[server.server_id]
+        self._cpu_free_arr[index] = server.cpu_free
+        self._gpu_free_arr[index] = server.gpu_free
+
+    @property
+    def free_cpu_total(self) -> int:
+        """Total free CPU cores across all servers (healthy or not)."""
+        return self._free_cpu_total
+
+    @property
+    def free_gpu_total(self) -> int:
+        """Total free GPU percent units across all servers."""
+        return self._free_gpu_total
+
+    def sorted_weighted_free(self, beta: float) -> List[Tuple[float, int]]:
+        """Ascending ``(weighted free, server_id)`` pairs at ``beta``.
+
+        Vectorised equivalent of sorting ``(server.weighted_free(beta),
+        server.server_id)`` per server: the weighted key is the same
+        two IEEE-754 operations (``beta * cpu_free + gpu_free``) numpy
+        performs element-wise, and the stable lexsort reproduces the
+        tuple ordering exactly, so callers see bit-identical indexes.
+        """
+        weighted = beta * self._cpu_free_arr + self._gpu_free_arr
+        order = np.lexsort((self._ids_arr, weighted))
+        return list(
+            zip(weighted[order].tolist(), self._ids_arr[order].tolist())
+        )
 
     # ------------------------------------------------------------------
     # lookup
@@ -72,6 +127,9 @@ class Cluster:
             gpu_device_id=device_id,
         )
         self._placements[placement.placement_id] = placement
+        self._free_cpu_total -= request.cpu
+        self._free_gpu_total -= request.gpu
+        self._sync_server_free(server)
         self.version += 1
         return placement
 
@@ -81,6 +139,9 @@ class Cluster:
         server = self.server(placement.server_id)
         server.release(placement.resources, placement.gpu_device_id)
         del self._placements[placement.placement_id]
+        self._free_cpu_total += placement.resources.cpu
+        self._free_gpu_total += placement.resources.gpu
+        self._sync_server_free(server)
         self.version += 1
 
     @property
@@ -166,8 +227,11 @@ class Cluster:
         server = self.server(server_id)
         if server.healthy:
             return
+        self._free_cpu_total += server.cpu_capacity - server.cpu_free
+        self._free_gpu_total += server.gpu_capacity - server.gpu_free
         server.reset_free()
         server.healthy = True
+        self._sync_server_free(server)
         self.version += 1
 
     def healthy_servers(self) -> List[Server]:

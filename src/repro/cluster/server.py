@@ -93,6 +93,11 @@ class Server:
         return self._gpu_free_total
 
     @property
+    def gpu_free_max(self) -> int:
+        """Largest single-device free SM share (the MPS quota bound)."""
+        return self._gpu_free_max
+
+    @property
     def capacity(self) -> ResourceVector:
         return ResourceVector(
             cpu=self.cpu_capacity,

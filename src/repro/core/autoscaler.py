@@ -90,6 +90,10 @@ class AutoScaler:
         self.alpha = alpha
         self._active: Dict[str, List[Instance]] = {}
         self._warm: Dict[str, List[WarmPoolEntry]] = {}
+        #: bumped whenever instance sets / states / rates may change
+        #: (control steps, failures); the router's per-function candidate
+        #: cache keys on it.
+        self.version = 0
         self.stats = ScalingStats()
         #: telemetry hooks; no-op unless a recording tracer is attached.
         self.tracer: Tracer = NULL_TRACER
@@ -229,6 +233,7 @@ class AutoScaler:
         placements); this just terminates the bookkeeping so the next
         control step re-provisions capacity elsewhere.
         """
+        self.version += 1
         lost_instances: List[Instance] = []
         for name, group in self._active.items():
             kept = []
@@ -268,6 +273,7 @@ class AutoScaler:
         load, retires surplus instances per case (iii), and returns the
         resulting action (with per-instance rates applied in place).
         """
+        self.version += 1
         self.expire_warm_pool(now)
         active = self._active.setdefault(function.name, [])
         plan = plan_dispatch(active, rps, alpha=self.alpha, beta=self.scheduler.cluster.beta)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional
 
 
@@ -46,9 +47,11 @@ class RateBounds:
 
     @property
     def width(self) -> float:
+        """Size of the admissible window, ``r_up - r_low``."""
         return self.r_up - self.r_low
 
     def contains(self, rate: float) -> bool:
+        """Whether ``rate`` lies inside the (closed) window."""
         return self.r_low <= rate <= self.r_up
 
 
@@ -95,6 +98,27 @@ def rate_bounds(t_exec: float, t_slo: float, batch: int) -> RateBounds:
     return RateBounds(r_low=r_low, r_up=r_up)
 
 
+@lru_cache(maxsize=65536)
+def cached_rate_bounds(
+    t_exec: float, t_slo: float, batch: int
+) -> Optional[RateBounds]:
+    """Memoized :func:`rate_bounds`, with ``None`` marking infeasibility.
+
+    Eq. 1 is a pure function of its arguments, but hot consumers -- the
+    BATCH baseline's per-tick profile search and the audit layer's
+    per-instance soundness check -- recompute it with a handful of
+    distinct argument triples thousands of times per run.  Infeasible
+    combinations return ``None`` instead of raising so the negative
+    result is cached too (``lru_cache`` does not cache exceptions).
+    Invalid arguments (non-positive ``t_exec``, ``batch < 1``) still
+    raise ``ValueError`` exactly like :func:`rate_bounds`.
+    """
+    try:
+        return rate_bounds(t_exec, t_slo, batch)
+    except InfeasibleBatchError:
+        return None
+
+
 @dataclass
 class BatchQueue:
     """Per-instance request queue aggregating arrivals into batches.
@@ -123,10 +147,12 @@ class BatchQueue:
 
     @property
     def is_empty(self) -> bool:
+        """True when no requests are waiting."""
         return not self._pending
 
     @property
     def oldest_arrival(self) -> Optional[float]:
+        """Arrival time of the current batch's first request, if any."""
         return self._oldest_arrival
 
     def deadline(self) -> Optional[float]:

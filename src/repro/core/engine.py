@@ -63,6 +63,12 @@ class INFlessEngine:
         self.autoscaler = AutoScaler(self.scheduler, self.policy, alpha=alpha)
         self._functions: Dict[str, FunctionSpec] = {}
         self._rng = np.random.default_rng(seed)
+        # name -> (autoscaler version, valid-until time, chosen
+        # candidate list, probability vector).  Candidate sets and
+        # rates only change at control steps (version bump) or when a
+        # cold-starting instance's ready_at passes (valid-until), so
+        # between those moments route() reuses the same arrays.
+        self._route_cache: Dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     # deployment
@@ -107,23 +113,54 @@ class INFlessEngine:
         Returns None when the function currently has no dispatchable
         instance (the runtime parks the request until the next control
         step launches one).
+
+        The candidate set and its weighted-sampling CDF are cached
+        between control steps: they depend only on the autoscaler's
+        state and on which cold starts have finished, so the cache is
+        keyed on the autoscaler version and invalidated when ``now``
+        crosses the next pending ``ready_at``.  The RNG draw itself is
+        never cached -- each request consumes exactly one uniform draw
+        from the same stream ``Generator.choice`` would (``choice``
+        with a ``p`` vector computes ``cdf = p.cumsum(); cdf /=
+        cdf[-1]`` and inverts one ``random()`` sample through it; the
+        CDF is the part worth caching, the draw is not).
         """
-        candidates = [
-            inst
-            for inst in self.autoscaler.active_instances(name)
-            if inst.is_dispatchable()
-        ]
-        if not candidates:
-            return None
-        # Prefer instances whose cold start already finished; fall back
-        # to cold-starting ones (their requests wait for readiness).
-        ready = [inst for inst in candidates if now >= inst.ready_at]
-        candidates = ready or candidates
-        weights = np.array(
-            [max(inst.assigned_rate, 1e-9) for inst in candidates], dtype=float
-        )
-        probabilities = weights / weights.sum()
-        index = int(self._rng.choice(len(candidates), p=probabilities))
+        version = self.autoscaler.version
+        cached = self._route_cache.get(name)
+        if cached is not None and cached[0] == version and now < cached[1]:
+            candidates, cdf = cached[2], cached[3]
+            if candidates is None:
+                return None
+        else:
+            candidates = [
+                inst
+                for inst in self.autoscaler.active_instances(name)
+                if inst.is_dispatchable()
+            ]
+            # The ready/cold split below flips when a pending cold
+            # start completes; the cached entry expires at the earliest
+            # such moment.
+            valid_until = min(
+                (inst.ready_at for inst in candidates if inst.ready_at > now),
+                default=float("inf"),
+            )
+            if not candidates:
+                self._route_cache[name] = (version, valid_until, None, None)
+                return None
+            # Prefer instances whose cold start already finished; fall
+            # back to cold-starting ones (their requests wait for
+            # readiness).
+            ready = [inst for inst in candidates if now >= inst.ready_at]
+            candidates = ready or candidates
+            weights = np.array(
+                [max(inst.assigned_rate, 1e-9) for inst in candidates],
+                dtype=float,
+            )
+            probabilities = weights / weights.sum()
+            cdf = probabilities.cumsum()
+            cdf /= cdf[-1]
+            self._route_cache[name] = (version, valid_until, candidates, cdf)
+        index = int(cdf.searchsorted(self._rng.random(), side="right"))
         return candidates[index]
 
     # ------------------------------------------------------------------

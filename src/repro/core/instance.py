@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.cluster.cluster import Placement
@@ -34,9 +33,12 @@ class InstanceState(enum.Enum):
     TERMINATED = "terminated"
 
 
-@dataclass
 class Instance:
     """A running (or warming) instance of an inference function.
+
+    A ``__slots__`` class: the serving hot path touches instances per
+    request (routing, batching, completion), and large-scale sweeps
+    create thousands of them.
 
     Attributes:
         function: the function this instance serves.
@@ -47,34 +49,69 @@ class Instance:
         placement: where the instance's resources are allocated.
         assigned_rate: RPS currently dispatched to this instance
             (section 3.2's ``r_i``).
+        ready_at: when the instance finishes cold-starting.
+        idle_since: start of the current idle stretch, if idle.
+        queue: the instance's batch queue (built when omitted).
+        busy: True while a batch is executing (set by the runtime).
+        timeout_slack_s: extra latency budget reserved outside the
+            instance (the OTP buffer layer of BATCH); shortens the
+            batch waiting deadline.
     """
 
-    function: FunctionSpec
-    config: InstanceConfig
-    t_exec_pred: float
-    bounds: RateBounds
-    placement: Optional[Placement] = None
-    assigned_rate: float = 0.0
-    state: InstanceState = InstanceState.COLD_STARTING
-    instance_id: int = field(default_factory=lambda: next(_instance_ids))
-    #: simulation bookkeeping
-    ready_at: float = 0.0
-    idle_since: Optional[float] = None
-    queue: Optional[BatchQueue] = None
-    #: True while a batch is executing (set by the serving runtime).
-    busy: bool = False
-    #: extra latency budget reserved outside the instance (the OTP
-    #: buffer layer of BATCH); shortens the batch waiting deadline.
-    timeout_slack_s: float = 0.0
+    __slots__ = (
+        "function",
+        "config",
+        "t_exec_pred",
+        "bounds",
+        "placement",
+        "assigned_rate",
+        "state",
+        "instance_id",
+        "ready_at",
+        "idle_since",
+        "queue",
+        "busy",
+        "timeout_slack_s",
+    )
 
-    def __post_init__(self) -> None:
-        if self.t_exec_pred <= 0:
+    def __init__(
+        self,
+        function: FunctionSpec,
+        config: InstanceConfig,
+        t_exec_pred: float,
+        bounds: RateBounds,
+        placement: Optional[Placement] = None,
+        assigned_rate: float = 0.0,
+        state: InstanceState = InstanceState.COLD_STARTING,
+        instance_id: Optional[int] = None,
+        ready_at: float = 0.0,
+        idle_since: Optional[float] = None,
+        queue: Optional[BatchQueue] = None,
+        busy: bool = False,
+        timeout_slack_s: float = 0.0,
+    ) -> None:
+        self.function = function
+        self.config = config
+        self.t_exec_pred = t_exec_pred
+        self.bounds = bounds
+        self.placement = placement
+        self.assigned_rate = assigned_rate
+        self.state = state
+        self.instance_id = (
+            next(_instance_ids) if instance_id is None else instance_id
+        )
+        self.ready_at = ready_at
+        self.idle_since = idle_since
+        self.busy = busy
+        self.timeout_slack_s = timeout_slack_s
+        if t_exec_pred <= 0:
             raise ValueError("predicted execution time must be positive")
-        if self.queue is None:
-            self.queue = BatchQueue(
-                batch_size=self.config.batch,
+        if queue is None:
+            queue = BatchQueue(
+                batch_size=config.batch,
                 timeout_s=self.batch_timeout_s,
             )
+        self.queue = queue
 
     # ------------------------------------------------------------------
     # derived quantities

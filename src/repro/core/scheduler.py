@@ -53,6 +53,7 @@ class SchedulingOutcome:
 
     @property
     def placed_capacity(self) -> float:
+        """Total RPS capacity (sum of ``r_up``) of the placed instances."""
         return sum(inst.r_up for inst in self.instances)
 
 
@@ -97,6 +98,9 @@ class GreedyScheduler:
         #: a scheduler across specs that share a name but differ in
         #: either, and a name-only key hands them each other's rows.
         self._config_cache: Dict[Tuple[str, str, float, int], List[Tuple]] = {}
+        #: (model, b, c, g) -> ResourceVector; the memory footprint of
+        #: a configuration is a pure function of its key.
+        self._resources_cache: Dict[Tuple, ResourceVector] = {}
         #: ascending weighted-free server index, cached across
         #: schedule() calls and invalidated via Cluster.version (and
         #: re-keyed whenever the efficiency beta moves).
@@ -119,8 +123,11 @@ class GreedyScheduler:
         version, cached = self._beta_cache
         if version == self.cluster.version:
             return cached
-        free_cpu = sum(server.cpu_free for server in self.cluster.servers)
-        free_gpu = sum(server.gpu_free for server in self.cluster.servers)
+        # O(1): the cluster maintains these totals incrementally (they
+        # span all servers, healthy or not, exactly like the per-server
+        # sum they replace).
+        free_cpu = self.cluster.free_cpu_total
+        free_gpu = self.cluster.free_gpu_total
         beta = 1e4 if free_cpu <= 0 else max(0.05, min(1e4, free_gpu / free_cpu))
         self._beta_cache = (self.cluster.version, beta)
         return beta
@@ -163,8 +170,13 @@ class GreedyScheduler:
     def _instance_resources(
         self, function: FunctionSpec, config: InstanceConfig
     ) -> ResourceVector:
-        memory = int(round(function.model.memory_mb(config.batch)))
-        return config.resources(memory_mb=memory)
+        key = (function.model.name, config.batch, config.cpu, config.gpu)
+        cached = self._resources_cache.get(key)
+        if cached is None:
+            memory = int(round(function.model.memory_mb(config.batch)))
+            cached = config.resources(memory_mb=memory)
+            self._resources_cache[key] = cached
+        return cached
 
     def _best_server_for(
         self,
@@ -183,10 +195,28 @@ class GreedyScheduler:
         cost = resources.weighted(beta)
         # Skip servers whose weighted free capacity cannot cover the
         # weighted cost, then scan upward for a true fit (single-GPU
-        # quota and memory can still rule a server out).
+        # quota and memory can still rule a server out).  The checks
+        # are Server.can_fit inlined: this scan probes millions of
+        # servers per large-scale sweep and the two call frames per
+        # probe (lookup + can_fit) dominate its cost.
         start = bisect.bisect_left(sorted_free, (cost - 1e-9, -1))
-        for free_weighted, server_id in sorted_free[start:]:
-            if self.cluster.server(server_id).can_fit(resources):
+        server_of = self.cluster.server
+        cpu = resources.cpu
+        memory = resources.memory_mb
+        gpu = resources.gpu
+        gpu_ok = 0 < gpu <= 100
+        for index in range(start, len(sorted_free)):
+            server_id = sorted_free[index][1]
+            server = server_of(server_id)
+            if (
+                server.healthy
+                and cpu <= server.cpu_free
+                and memory <= server.memory_free_mb
+                and (
+                    gpu == 0
+                    or (gpu_ok and gpu <= server._gpu_free_max)
+                )
+            ):
                 return server_id
         return None
 
@@ -204,10 +234,7 @@ class GreedyScheduler:
             or self._free_index_version != self.cluster.version
             or self._free_index_beta != beta
         ):
-            self._free_index = sorted(
-                (server.weighted_free(beta), server.server_id)
-                for server in self.cluster.servers
-            )
+            self._free_index = self.cluster.sorted_weighted_free(beta)
             self._free_index_version = self.cluster.version
             self._free_index_beta = beta
         return self._free_index
@@ -373,10 +400,7 @@ class GreedyScheduler:
         """
         beta = self._efficiency_beta()
         if beta != self._free_index_beta:
-            sorted_free[:] = sorted(
-                (server.weighted_free(beta), server.server_id)
-                for server in self.cluster.servers
-            )
+            sorted_free[:] = self.cluster.sorted_weighted_free(beta)
         else:
             for index, (_key, sid) in enumerate(sorted_free):
                 if sid == server_id:

@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from repro.core.batching import InfeasibleBatchError, rate_bounds
+from repro.core.batching import cached_rate_bounds
 
 MODES = ("off", "collect", "strict")
 
@@ -293,10 +293,12 @@ class InvariantChecker:
                 continue
             slo_eff = inst.function.slo_s - inst.timeout_slack_s
             try:
-                bounds = rate_bounds(
+                bounds = cached_rate_bounds(
                     inst.t_exec_pred, slo_eff, inst.config.batch
                 )
-            except (InfeasibleBatchError, ValueError):
+            except ValueError:
+                bounds = None
+            if bounds is None:
                 self._flag(
                     "scheduler_soundness",
                     now,

@@ -47,6 +47,11 @@ class GroundTruthExecutor:
         self.hardware = hardware
         self.cost_model = CostModel(hardware)
         self._rng = np.random.default_rng(seed)
+        # (model name, batch, cpu, gpu) -> noise-free batch duration.
+        # The mean is a pure function of the configuration (the graph
+        # walk and quirk draw are deterministic), and the serving path
+        # re-asks it for every executed batch.
+        self._mean_cache: dict = {}
 
     def _quirk_factor(
         self, model_name: str, batch: int, cpu: float, gpu: float
@@ -69,6 +74,10 @@ class GroundTruthExecutor:
         gpu: Union[int, float],
     ) -> float:
         """Noise-free actual execution time of one batch, in seconds."""
+        key = (model.name, batch, cpu, gpu)
+        cached = self._mean_cache.get(key)
+        if cached is not None:
+            return cached
 
         def op_time(spec: OperatorSpec) -> float:
             return self.cost_model.operator_time(spec, batch, cpu, gpu)
@@ -77,7 +86,9 @@ class GroundTruthExecutor:
         total = model.graph.total_time(op_time)
         spill = self.hardware.branch_overlap_penalty * (total - critical)
         quirk = self._quirk_factor(model.name, batch, cpu, gpu)
-        return (critical + spill) * quirk + self.cost_model.serving_overhead(batch)
+        mean = (critical + spill) * quirk + self.cost_model.serving_overhead(batch)
+        self._mean_cache[key] = mean
+        return mean
 
     def execution_time(
         self,

@@ -2,13 +2,18 @@
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, Dict, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.simulation.events import Event, EventKind
 
 Handler = Callable[[Event], None]
+
+#: heap entry: (time, seq, event).  Bare tuples keep heap sift
+#: comparisons in C (float/int compares) instead of calling
+#: ``Event.__lt__``; ties in time still break by insertion seq.
+_HeapEntry = Tuple[float, int, Event]
 
 
 class EventBudgetExceeded(RuntimeError):
@@ -37,7 +42,7 @@ class EventLoop:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[_HeapEntry] = []
         self._seq = itertools.count()
         self._handlers: Dict[EventKind, Handler] = {}
         self.now = 0.0
@@ -49,26 +54,29 @@ class EventLoop:
 
     def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Queue an event; times before `now` clamp to `now` (causality)."""
-        event = Event(
-            time=max(time, self.now), seq=next(self._seq), kind=kind,
-            payload=payload,
-        )
-        heapq.heappush(self._heap, event)
+        if time < self.now:
+            time = self.now
+        seq = next(self._seq)
+        event = Event(time, seq, kind, payload)
+        heappush(self._heap, (time, seq, event))
         return event
 
     def peek_time(self) -> Optional[float]:
-        return self._heap[0].time if self._heap else None
+        """Timestamp of the next queued event, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
         """Drain the heap (optionally stopping at a horizon)."""
-        while self._heap:
-            if until is not None and self._heap[0].time > until:
+        heap = self._heap
+        handlers = self._handlers
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
             if self.processed >= max_events:
                 raise EventBudgetExceeded(self.now, self.processed, max_events)
-            event = heapq.heappop(self._heap)
-            self.now = event.time
-            handler = self._handlers.get(event.kind)
+            time, _seq, event = heappop(heap)
+            self.now = time
+            handler = handlers.get(event.kind)
             if handler is None:
                 raise RuntimeError(f"no handler for event kind {event.kind}")
             handler(event)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any
 
 
@@ -22,11 +21,63 @@ class EventKind(enum.Enum):
     SERVER_FAILURE = "server_failure"
 
 
-@dataclass(order=True)
 class Event:
-    """A timestamped event; ordering is (time, seq) for determinism."""
+    """A timestamped event; ordering is (time, seq) for determinism.
 
-    time: float
-    seq: int
-    kind: EventKind = field(compare=False)
-    payload: Any = field(compare=False, default=None)
+    A ``__slots__`` class rather than a dataclass: millions of events
+    are created per run, and the event loop keeps bare ``(time, seq,
+    event)`` tuples on its heap so instances are never compared on the
+    hot path.  The rich comparisons below preserve the original
+    dataclass(order=True) semantics for any out-of-loop callers.
+    """
+
+    __slots__ = ("time", "seq", "kind", "payload")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        kind: EventKind,
+        payload: Any = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.payload = payload
+
+    def _key(self):
+        return (self.time, self.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __le__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() >= other._key()
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.seq))
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r},"
+            f" kind={self.kind!r}, payload={self.payload!r})"
+        )

@@ -198,6 +198,7 @@ def throughput_vs_functions(
     platform_factories: Dict[str, Callable[[Cluster], object]],
     function_counts: Sequence[int] = (10, 20, 30, 40),
     num_servers: int = LARGE_CLUSTER_SERVERS,
+    base_rps: float = 400.0,
 ) -> Dict[str, List[Tuple[int, ProvisioningResult]]]:
     """Fig. 18(a): throughput per resource across fleet sizes."""
     results: Dict[str, List[Tuple[int, ProvisioningResult]]] = {}
@@ -205,7 +206,12 @@ def throughput_vs_functions(
         series = []
         for count in function_counts:
             series.append(
-                (count, largescale_capacity(factory, count, num_servers))
+                (
+                    count,
+                    largescale_capacity(
+                        factory, count, num_servers, base_rps=base_rps
+                    ),
+                )
             )
         results[name] = series
     return results
@@ -216,6 +222,7 @@ def throughput_vs_slo(
     slos: Sequence[float] = (0.15, 0.2, 0.25, 0.3),
     num_functions: int = 20,
     num_servers: int = LARGE_CLUSTER_SERVERS,
+    base_rps: float = 400.0,
 ) -> Dict[str, List[Tuple[float, ProvisioningResult]]]:
     """Fig. 18(b): throughput per resource across SLO settings."""
     results: Dict[str, List[Tuple[float, ProvisioningResult]]] = {}
@@ -226,7 +233,11 @@ def throughput_vs_slo(
                 (
                     slo,
                     largescale_capacity(
-                        factory, num_functions, num_servers, slos=(slo,)
+                        factory,
+                        num_functions,
+                        num_servers,
+                        slos=(slo,),
+                        base_rps=base_rps,
                     ),
                 )
             )

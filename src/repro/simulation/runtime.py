@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional, Union
 
 import numpy as np
@@ -52,7 +51,6 @@ from repro.workloads.trace import Trace
 _request_ids = itertools.count()
 
 
-@dataclass
 class Request:
     """One inference request in flight.
 
@@ -60,27 +58,61 @@ class Request:
     ``arrival`` is when the request reached its *current stage* (it
     drives the stage's batch-queue deadline) while ``origin_arrival``
     is when the user issued it (it drives the end-to-end SLO).
+
+    A ``__slots__`` class: one instance exists per simulated request,
+    so per-object dict overhead dominates replay memory otherwise.
     """
 
-    function: str
-    arrival: float
-    slo_s: float
-    origin_arrival: Optional[float] = None
-    request_id: int = field(default_factory=lambda: next(_request_ids))
+    __slots__ = ("function", "arrival", "slo_s", "origin_arrival", "request_id")
+
+    def __init__(
+        self,
+        function: str,
+        arrival: float,
+        slo_s: float,
+        origin_arrival: Optional[float] = None,
+        request_id: Optional[int] = None,
+    ) -> None:
+        self.function = function
+        self.arrival = arrival
+        self.slo_s = slo_s
+        self.origin_arrival = origin_arrival
+        self.request_id = (
+            next(_request_ids) if request_id is None else request_id
+        )
 
     @property
     def origin(self) -> float:
+        """User-visible issue time: drives the end-to-end SLO."""
         return self.arrival if self.origin_arrival is None else self.origin_arrival
 
+    def __repr__(self) -> str:
+        return (
+            f"Request(function={self.function!r}, arrival={self.arrival!r},"
+            f" slo_s={self.slo_s!r}, origin_arrival={self.origin_arrival!r},"
+            f" request_id={self.request_id!r})"
+        )
 
-@dataclass
+
 class _BatchInFlight:
-    instance: Instance
-    requests: list
-    start: float
-    exec_s: float
-    #: tracer-assigned batch id (0 with the null tracer).
-    batch_id: int = 0
+    """One executing batch: its instance, members and timing."""
+
+    __slots__ = ("instance", "requests", "start", "exec_s", "batch_id")
+
+    def __init__(
+        self,
+        instance: Instance,
+        requests: list,
+        start: float,
+        exec_s: float,
+        batch_id: int = 0,
+    ) -> None:
+        self.instance = instance
+        self.requests = requests
+        self.start = start
+        self.exec_s = exec_s
+        # tracer-assigned batch id (0 with the null tracer).
+        self.batch_id = batch_id
 
 
 class ServingSimulation:
@@ -165,6 +197,9 @@ class ServingSimulation:
             dict.fromkeys(list(workload) + list(self.chains.values()))
         )
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        #: cached ``tracer.enabled``: guards per-request hook calls so a
+        #: disabled tracer costs one attribute read, not a no-op call.
+        self._trace: bool = self.tracer.enabled
         if self.tracer.enabled:
             attach_tracer(platform, self.tracer)
         self.timeline = timeline
@@ -215,18 +250,20 @@ class ServingSimulation:
     def _on_arrival(self, event: Event) -> None:
         request: Request = event.payload
         self.metrics.record_arrival(self.loop.now)
-        self.tracer.request_arrived(
-            request.request_id, request.function, self.loop.now
-        )
+        if self._trace:
+            self.tracer.request_arrived(
+                request.request_id, request.function, self.loop.now
+            )
         self._arrivals_since_tick[request.function] += 1
         self.platform.record_invocation(request.function, self.loop.now)
         self._dispatch(request)
 
     def _drop(self, request: Request, reason: str) -> None:
         self.metrics.record_drop(self.loop.now, reason)
-        self.tracer.request_dropped(
-            request.request_id, request.function, self.loop.now, reason
-        )
+        if self._trace:
+            self.tracer.request_dropped(
+                request.request_id, request.function, self.loop.now, reason
+            )
 
     def _dispatch(self, request: Request) -> None:
         instance = self.platform.route(request.function, self.loop.now)
@@ -236,9 +273,10 @@ class ServingSimulation:
                 self._drop(request, DROP_NO_CAPACITY)
                 return
             pending.append(request)
-            self.tracer.request_parked(
-                request.request_id, request.function, self.loop.now
-            )
+            if self._trace:
+                self.tracer.request_parked(
+                    request.request_id, request.function, self.loop.now
+                )
             return
         self._enqueue(instance, request)
 
@@ -269,13 +307,14 @@ class ServingSimulation:
                 self._drop(request, reason)
                 return
         queue.enqueue(request, now)
-        self.tracer.request_enqueued(
-            request.request_id,
-            request.function,
-            instance.instance_id,
-            now,
-            not ready,
-        )
+        if self._trace:
+            self.tracer.request_enqueued(
+                request.request_id,
+                request.function,
+                instance.instance_id,
+                now,
+                not ready,
+            )
         self._maybe_start(instance)
 
     # ------------------------------------------------------------------
@@ -410,7 +449,8 @@ class ServingSimulation:
                 f"{type(self.platform).__name__} cannot handle server failures"
             )
         lost = handler(server_id, self.loop.now)
-        self.tracer.server_failure(self.loop.now, server_id, len(lost))
+        if self._trace:
+            self.tracer.server_failure(self.loop.now, server_id, len(lost))
         # Queued (not yet executing) requests survived in the gateway:
         # re-dispatch them to the remaining instances.
         for instance in lost:
@@ -451,7 +491,8 @@ class ServingSimulation:
 
     def _on_control_tick(self, event: Event) -> None:
         now = self.loop.now
-        self.tracer.control_tick(now, len(self._managed))
+        if self._trace:
+            self.tracer.control_tick(now, len(self._managed))
         for name in self._managed:
             rate = self._estimate_rate(name)
             action = self.platform.control(name, rate, now)

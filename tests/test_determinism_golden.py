@@ -1,0 +1,57 @@
+"""Bit-identical determinism against pre-optimization golden reports.
+
+The fixtures in ``tests/data/golden_reports.json`` were produced by
+``tests/golden_scenarios.py`` *before* the hot-path optimization pass
+(indexed heap, route caching, memoized lookups, ``__slots__``).  These
+tests prove the optimizations are behaviour-preserving: every seeded
+scenario must reproduce its pre-optimization report **exactly**, down
+to the last float bit (JSON round-tripping preserves doubles, so plain
+equality is a bit-level comparison).
+
+A failure here means an "optimization" changed simulation behaviour --
+RNG stream consumption, float evaluation order, or tie-breaking.  Only
+regenerate the goldens for a *deliberate* behaviour change, and say so
+in the commit message::
+
+    PYTHONPATH=src python -m tests.golden_scenarios --write
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.golden_scenarios import GOLDEN_PATH, SCENARIOS
+
+
+def _golden():
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; regenerate with"
+        " `PYTHONPATH=src python -m tests.golden_scenarios --write`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_covers_every_scenario():
+    golden = _golden()
+    assert sorted(golden) == sorted(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_matches_golden_bit_identically(name):
+    golden = _golden()[name]
+    # Round-trip through JSON so both sides use the identical float
+    # representation (repr-based, exact for doubles).
+    current = json.loads(json.dumps(SCENARIOS[name]()))
+    assert current == golden, (
+        f"scenario {name!r} diverged from its pre-optimization golden --"
+        " an optimization changed simulation behaviour"
+    )
+
+
+def test_scenarios_are_repeatable_within_process():
+    """Two in-process runs of one scenario agree exactly (no hidden state)."""
+    first = json.loads(json.dumps(SCENARIOS["infless_constant"]()))
+    second = json.loads(json.dumps(SCENARIOS["infless_constant"]()))
+    assert first == second
