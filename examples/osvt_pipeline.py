@@ -4,47 +4,35 @@
 The online secondhand-vehicle-trading application (section 5.1) runs
 SSD, MobileNet and ResNet-50 with a 200 ms SLO.  This example replays
 the same bursty production trace through INFless, BATCH (the OTP
-baseline) and OpenFaaS+ and compares throughput per unit of resource,
-SLO compliance and cold-start behaviour.
+baseline) and OpenFaaS+ -- each as one declarative
+:class:`repro.Experiment` -- and compares throughput per unit of
+resource, SLO compliance and cold-start behaviour.
 
 Run:
     python examples/osvt_pipeline.py
 """
 
-from repro import (
-    BatchOTP,
-    GroundTruthExecutor,
-    INFlessEngine,
-    OpenFaaSPlus,
-    ServingSimulation,
-    build_osvt,
-    build_testbed_cluster,
-)
+from repro import Experiment, build_osvt
 from repro.profiling import build_default_predictor
 from repro.workloads import bursty_trace
 
 
-def run_platform(factory, label, predictor):
-    cluster = build_testbed_cluster()
-    platform = factory(cluster)
+def run_platform(name, predictor):
     app = build_osvt()
-    for function in app.functions:
-        platform.deploy(function)
     trace = bursty_trace(mean_rps=240.0, duration_s=600.0, seed=9)
     per_function = app.rps_split(trace.mean_rps)
-    workload = {
-        name: trace.with_mean(rps) for name, rps in per_function.items()
-    }
-    simulation = ServingSimulation(
-        platform=platform,
-        executor=GroundTruthExecutor(),
-        workload=workload,
+    report = Experiment(
+        platform=name,
+        predictor=predictor,
+        functions=app.functions,
+        workload={
+            fn: trace.with_mean(rps) for fn, rps in per_function.items()
+        },
         warmup_s=60.0,
         seed=2,
-    )
-    report = simulation.run()
+    ).run()
     print(
-        f"{label:10s} | done {report.completed:6d}"
+        f"{name:10s} | done {report.completed:6d}"
         f" | viol {report.violation_rate:6.2%}"
         f" | drops {report.drop_rate:6.2%}"
         f" | thpt/res {report.normalized_throughput:6.2f}"
@@ -57,13 +45,10 @@ def run_platform(factory, label, predictor):
 def main() -> None:
     predictor = build_default_predictor()
     print("OSVT (SSD + MobileNet + ResNet-50, 200 ms SLO), bursty trace\n")
-    reports = {}
-    for label, factory in [
-        ("infless", lambda c: INFlessEngine(c, predictor=predictor)),
-        ("batch", lambda c: BatchOTP(c, predictor)),
-        ("openfaas+", lambda c: OpenFaaSPlus(c, predictor)),
-    ]:
-        reports[label] = run_platform(factory, label, predictor)
+    reports = {
+        name: run_platform(name, predictor)
+        for name in ("infless", "batch", "openfaas+")
+    }
 
     infless = reports["infless"]
     print()

@@ -7,41 +7,31 @@ the discrete-event runtime and prints the outcome: achieved throughput,
 SLO compliance, the latency decomposition ``l = t_cold + t_batch +
 t_exec`` and which batch sizes the non-uniform scaler actually used.
 
+The whole run is declared with one :class:`repro.Experiment`; swap
+``platform="infless"`` for ``"openfaas+"`` or ``"batch"`` to compare
+baselines, or add ``faults="examples/chaos_plan.json"`` to inject
+failures.
+
 Run:
     python examples/quickstart.py
 """
 
-from repro import (
-    FunctionSpec,
-    GroundTruthExecutor,
-    INFlessEngine,
-    ServingSimulation,
-    build_testbed_cluster,
-    constant_trace,
-)
+from repro import Experiment, FunctionSpec, constant_trace
 
 
 def main() -> None:
-    print("Building the testbed cluster (8 servers, 16 GPUs)...")
-    cluster = build_testbed_cluster()
-
-    print("Profiling operators & starting INFless (first run takes ~2s)...")
-    engine = INFlessEngine(cluster)
-
     function = FunctionSpec.for_model("resnet-50", slo_s=0.200)
-    engine.deploy(function)
-    print(f"Deployed {function.name} with a {function.slo_s * 1e3:.0f} ms SLO")
-
-    workload = {function.name: constant_trace(rps=300.0, duration_s=120.0)}
-    simulation = ServingSimulation(
-        platform=engine,
-        executor=GroundTruthExecutor(),
-        workload=workload,
+    experiment = Experiment(
+        platform="infless",
+        functions=[function],
+        workload={function.name: constant_trace(rps=300.0, duration_s=120.0)},
         warmup_s=20.0,  # discard the initial cold-start transient
         seed=1,
     )
+    print("Built the testbed cluster (8 servers, 16 GPUs) and INFless;")
+    print(f"deployed {function.name} with a {function.slo_s * 1e3:.0f} ms SLO")
     print("Replaying 120 s of 300 RPS traffic...")
-    report = simulation.run()
+    report = experiment.run()
 
     print()
     print(f"completed requests : {report.completed}")

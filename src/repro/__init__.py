@@ -66,6 +66,8 @@ from repro.workloads import (
 )
 from repro.simulation import ServingSimulation, SimulationReport
 from repro.baselines import BatchOTP, BatchRS, LambdaLike, OpenFaaSPlus
+from repro.faults import FaultPlan, ResiliencePolicy
+from repro.api import Experiment, make_platform
 
 __version__ = "1.0.0"
 
@@ -109,5 +111,9 @@ __all__ = [
     "BatchRS",
     "LambdaLike",
     "OpenFaaSPlus",
+    "FaultPlan",
+    "ResiliencePolicy",
+    "Experiment",
+    "make_platform",
     "__version__",
 ]

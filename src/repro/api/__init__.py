@@ -1,0 +1,11 @@
+"""repro.api -- the experiment construction facade.
+
+One import gives the whole front door: :class:`Experiment` (declare a
+run -- platform, workload, faults, resilience, telemetry, invariants --
+and ``.run()`` it), :func:`make_platform` (build any registered
+platform by its report name) and the :data:`PLATFORMS` registry.
+"""
+
+from repro.api.experiment import PLATFORMS, Experiment, make_platform
+
+__all__ = ["PLATFORMS", "Experiment", "make_platform"]

@@ -1,0 +1,226 @@
+"""The Experiment builder: one object, one serving run.
+
+Replaces the copy-pasted setup blocks (build a cluster, build a
+platform, deploy functions, construct a ``ServingSimulation`` with a
+dozen keyword arguments) that used to live in every example, benchmark
+and CLI path.  An :class:`Experiment` names each concern once --
+platform, workload, faults, resilience, telemetry, invariants -- and
+:meth:`Experiment.build`/:meth:`Experiment.run` assemble exactly the
+same objects the manual code did, so seeded runs are bit-identical
+either way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Union
+
+from repro.cluster.cluster import Cluster, build_testbed_cluster
+from repro.core.engine import INFlessEngine
+from repro.core.function import FunctionSpec
+from repro.baselines.batch_otp import BatchOTP
+from repro.baselines.batch_rs import BatchRS
+from repro.baselines.openfaas import OpenFaaSPlus
+from repro.faults import FaultPlan, ResiliencePolicy
+from repro.profiling.executor import GroundTruthExecutor
+from repro.profiling.predictor import LatencyPredictor, build_default_predictor
+from repro.simulation.metrics import SimulationReport
+from repro.simulation.runtime import ServingSimulation
+from repro.telemetry import InMemoryTracer, TimelineRecorder, Tracer
+
+#: registry name -> platform class; every entry follows the normalized
+#: ``(cluster, predictor, *, name, seed, ...)`` constructor shape.
+PLATFORMS: Dict[str, type] = {
+    "infless": INFlessEngine,
+    "openfaas+": OpenFaaSPlus,
+    "batch": BatchOTP,
+    "batch+rs": BatchRS,
+}
+
+
+def make_platform(
+    name: str,
+    cluster: Cluster,
+    predictor: Optional[LatencyPredictor] = None,
+    **options: object,
+):
+    """Build a registered platform on ``cluster`` by its report name.
+
+    ``options`` are forwarded to the platform's keyword-only
+    constructor tail (``seed``, ``keepalive_s``, ``policy``, ...).
+    """
+    try:
+        platform_cls = PLATFORMS[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORMS))
+        raise KeyError(
+            f"unknown platform {name!r}; registered: {known}"
+        ) from None
+    if predictor is None:
+        predictor = build_default_predictor()
+    return platform_cls(cluster, predictor, **options)
+
+
+class Experiment:
+    """A declarative serving experiment.
+
+    Usage::
+
+        report = Experiment(
+            platform="infless",
+            functions=[FunctionSpec.for_model("resnet-50", slo_s=0.2)],
+            workload={"fn-resnet-50": constant_trace(300.0, 120.0)},
+            faults="examples/chaos_plan.json",
+            resilience=True,
+            seed=1,
+        ).run()
+
+    Args:
+        platform: a registry name (``"infless"``, ``"openfaas+"``,
+            ``"batch"``, ``"batch+rs"``), a pre-built platform object,
+            or a ``cluster -> platform`` factory callable.
+        workload: function name -> arrival trace.
+        functions: specs to deploy before the run; omit when the
+            platform object already has its functions deployed.
+        cluster: the cluster to run on; defaults to the paper's
+            testbed shape with ``servers`` machines.  Ignored when
+            ``platform`` is a pre-built object (it owns its cluster).
+        servers: testbed size used when no cluster is given.
+        predictor: shared latency predictor for registry platforms.
+        platform_options: extra keyword arguments for the registry
+            platform constructor (``seed``, ``keepalive_s``, ...).
+        executor: ground-truth executor; defaults to a fresh one.
+        faults: chaos scenario -- a :class:`FaultPlan`, its dict form,
+            or a path to a plan JSON file.
+        resilience: a :class:`ResiliencePolicy`, or True for defaults.
+        telemetry: a tracer, or True for a fresh
+            :class:`~repro.telemetry.InMemoryTracer` (exposed as
+            ``experiment.tracer``).
+        timeline: a recorder, or True for a fresh
+            :class:`~repro.telemetry.TimelineRecorder`.
+        invariants: audit mode (``"off"``/``"collect"``/``"strict"``)
+            or a pre-built checker; None resolves the process default.
+
+    The remaining keyword arguments mirror
+    :class:`~repro.simulation.runtime.ServingSimulation` exactly.
+    """
+
+    def __init__(
+        self,
+        *,
+        platform: Union[str, object, Callable[[Cluster], object]],
+        workload: Dict[str, object],
+        functions: Optional[Iterable[FunctionSpec]] = None,
+        cluster: Optional[Cluster] = None,
+        servers: int = 8,
+        predictor: Optional[LatencyPredictor] = None,
+        platform_options: Optional[Dict[str, object]] = None,
+        executor: Optional[GroundTruthExecutor] = None,
+        faults: Union[None, FaultPlan, Dict[str, object], str] = None,
+        resilience: Union[None, bool, ResiliencePolicy] = None,
+        telemetry: Union[None, bool, Tracer] = None,
+        timeline: Union[None, bool, TimelineRecorder] = None,
+        invariants: Union[None, str, object] = None,
+        warmup_s: float = 0.0,
+        seed: int = 42,
+        control_interval_s: float = 1.0,
+        rate_mode: str = "measured",
+        ewma: float = 0.6,
+        pending_cap: int = 100_000,
+        cold_queue_batches: int = 64,
+        chains: Optional[Dict[str, str]] = None,
+        end_to_end_slo_s: Optional[float] = None,
+    ) -> None:
+        self._platform_spec = platform
+        self.workload = dict(workload)
+        self.functions = list(functions) if functions is not None else None
+        self._cluster = cluster
+        self.servers = servers
+        self.predictor = predictor
+        self.platform_options = dict(platform_options or {})
+        self.executor = executor
+        self.faults = FaultPlan.coerce(faults)
+        if resilience is True:
+            resilience = ResiliencePolicy()
+        elif resilience is False:
+            resilience = None
+        self.resilience = resilience
+        if telemetry is True:
+            telemetry = InMemoryTracer()
+        elif telemetry is False:
+            telemetry = None
+        self.tracer: Optional[Tracer] = telemetry
+        if timeline is True:
+            timeline = TimelineRecorder()
+        elif timeline is False:
+            timeline = None
+        self.timeline: Optional[TimelineRecorder] = timeline
+        self.invariants = invariants
+        self.warmup_s = warmup_s
+        self.seed = seed
+        self.control_interval_s = control_interval_s
+        self.rate_mode = rate_mode
+        self.ewma = ewma
+        self.pending_cap = pending_cap
+        self.cold_queue_batches = cold_queue_batches
+        self.chains = chains
+        self.end_to_end_slo_s = end_to_end_slo_s
+        self.platform = None
+        self.simulation: Optional[ServingSimulation] = None
+        self.report: Optional[SimulationReport] = None
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _resolve_platform(self):
+        spec = self._platform_spec
+        if isinstance(spec, str):
+            cluster = self._cluster or build_testbed_cluster(
+                num_servers=self.servers
+            )
+            return make_platform(
+                spec, cluster, self.predictor, **self.platform_options
+            )
+        if callable(spec) and not hasattr(spec, "route"):
+            cluster = self._cluster or build_testbed_cluster(
+                num_servers=self.servers
+            )
+            return spec(cluster)
+        if self.platform_options:
+            raise ValueError(
+                "platform_options only apply to registry-name platforms"
+            )
+        return spec
+
+    def build(self) -> ServingSimulation:
+        """Assemble (once) and return the underlying simulation."""
+        if self.simulation is not None:
+            return self.simulation
+        self.platform = self._resolve_platform()
+        if self.functions is not None:
+            for function in self.functions:
+                self.platform.deploy(function)
+        self.simulation = ServingSimulation(
+            platform=self.platform,
+            executor=self.executor or GroundTruthExecutor(),
+            workload=self.workload,
+            control_interval_s=self.control_interval_s,
+            rate_mode=self.rate_mode,
+            ewma=self.ewma,
+            pending_cap=self.pending_cap,
+            cold_queue_batches=self.cold_queue_batches,
+            warmup_s=self.warmup_s,
+            chains=self.chains,
+            end_to_end_slo_s=self.end_to_end_slo_s,
+            tracer=self.tracer,
+            timeline=self.timeline,
+            invariants=self.invariants,
+            faults=self.faults,
+            resilience=self.resilience,
+            seed=self.seed,
+        )
+        return self.simulation
+
+    def run(self) -> SimulationReport:
+        """Build if needed, replay the workload, return the report."""
+        self.report = self.build().run()
+        return self.report

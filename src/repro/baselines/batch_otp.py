@@ -52,18 +52,20 @@ class BatchOTP(UniformScalingPlatform):
         self,
         cluster: Cluster,
         predictor: LatencyPredictor,
+        *,
+        name: str = "batch",
+        seed: int = 321,
         keepalive_s: float = 600.0,
         headroom: float = 0.85,
         config_space: Optional[ConfigSpace] = None,
-        seed: int = 321,
     ) -> None:
         super().__init__(
             cluster,
             predictor,
+            name=name,
+            seed=seed,
             keepalive_s=keepalive_s,
             headroom=headroom,
-            name="batch",
-            seed=seed,
         )
         self.config_space = config_space or ConfigSpace()
         #: keyed on (name, model, slo, load bucket): like the greedy

@@ -20,8 +20,8 @@ class BatchRS(BatchOTP):
     """BATCH with INFless's fragmentation-aware placement."""
 
     def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("name", "batch+rs")
         super().__init__(*args, **kwargs)
-        self.name = "batch+rs"
 
     def _place(self, resources: ResourceVector) -> Optional[Placement]:
         """Best-fit on weighted free capacity (minimises fragments)."""

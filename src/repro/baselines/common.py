@@ -11,6 +11,7 @@ concrete baselines override configuration selection.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -22,6 +23,7 @@ from repro.core.autoscaler import ScalingStats
 from repro.core.batching import RateBounds
 from repro.core.function import FunctionSpec
 from repro.core.instance import Instance, InstanceState
+from repro.faults.resilience import backlog_sheds
 from repro.profiling.configspace import InstanceConfig
 from repro.profiling.predictor import LatencyPredictor
 from repro.telemetry.tracer import NULL_TRACER, Tracer
@@ -53,23 +55,29 @@ class UniformScalingPlatform:
         predictor: latency estimates used for capacity planning (the
             baselines profile functions as a whole; reusing the COP
             predictor only makes them *stronger* baselines).
+        name: platform label for reports.
+        seed: seed for the uniform request router.
         keepalive_s: fixed keep-alive window for retired instances.
         headroom: target utilisation of each instance's ``r_up`` when
             sizing the fleet (scaling out at 100% would leave no slack).
-        name: platform label for reports.
     """
 
     #: extra delay requests spend outside the platform (OTP designs).
     ingress_delay_s = 0.0
+    #: bounded per-instance batch-queue depth (OpenFaaS+ overrides).
+    waiting_batches = 2
+    #: shed threshold in units of ``capacity_rps * slo_s``.
+    shed_slo_factor = 2.0
 
     def __init__(
         self,
         cluster: Cluster,
         predictor: LatencyPredictor,
-        keepalive_s: float = 300.0,
-        headroom: float = 0.85,
+        *,
         name: str = "uniform",
         seed: int = 321,
+        keepalive_s: float = 300.0,
+        headroom: float = 0.85,
     ) -> None:
         if not 0.0 < headroom <= 1.0:
             raise ValueError("headroom must lie in (0, 1]")
@@ -331,7 +339,7 @@ class UniformScalingPlatform:
     # ------------------------------------------------------------------
     # failures
     # ------------------------------------------------------------------
-    def handle_server_failure(self, server_id: int, now: float) -> List[Instance]:
+    def on_server_failure(self, server_id: int, now: float) -> List[Instance]:
         """Terminate instances lost with a failed machine."""
         self._route_version += 1
         lost_ids = {
@@ -361,6 +369,44 @@ class UniformScalingPlatform:
                     kept_entries.append(entry)
             self._warm[name] = kept_entries
         return lost
+
+    def handle_server_failure(self, server_id: int, now: float) -> List[Instance]:
+        """Deprecated alias of :meth:`on_server_failure`."""
+        warnings.warn(
+            "handle_server_failure is deprecated; use on_server_failure",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.on_server_failure(server_id, now)
+
+    def should_shed(self, name: str, now: float, pending: int) -> bool:
+        """Shed when the backlog exceeds the ready fleet's SLO budget."""
+        function = self._functions.get(name)
+        if function is None:
+            return False
+        return backlog_sheds(
+            self._active.get(name, []),
+            pending,
+            now,
+            function.slo_s,
+            self.shed_slo_factor,
+        )
+
+    def kill_instance(self, name: str, now: float) -> Optional[Instance]:
+        """Terminate one instance of ``name`` (container-crash fault)."""
+        group = self._active.get(name)
+        if not group:
+            return None
+        victim = max(group, key=lambda inst: inst.instance_id)
+        group.remove(victim)
+        if victim.placement is not None:
+            self.cluster.release(victim.placement)
+            victim.placement = None
+        victim.state = InstanceState.TERMINATED
+        victim.assigned_rate = 0.0
+        self.stats.failures += 1
+        self._route_version += 1
+        return victim
 
     def _retire(self, name: str, instance: Instance, now: float) -> None:
         instance.state = InstanceState.WARM_IDLE

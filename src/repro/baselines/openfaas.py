@@ -31,17 +31,19 @@ class OpenFaaSPlus(UniformScalingPlatform):
         self,
         cluster: Cluster,
         predictor: LatencyPredictor,
+        *,
+        name: str = "openfaas+",
+        seed: int = 321,
         keepalive_s: float = 300.0,
         headroom: float = 0.85,
-        seed: int = 321,
     ) -> None:
         super().__init__(
             cluster,
             predictor,
+            name=name,
+            seed=seed,
             keepalive_s=keepalive_s,
             headroom=headroom,
-            name="openfaas+",
-            seed=seed,
         )
 
     def select_config(self, function: FunctionSpec, rps: float) -> InstanceConfig:

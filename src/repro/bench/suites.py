@@ -140,10 +140,8 @@ def bench_fig12_trace(quick: bool = False) -> int:
     A scaled-down version of ``benchmarks/bench_fig12a_traces.py``'s
     experiment; returns the discrete events processed.
     """
-    from repro.cluster import build_testbed_cluster
-    from repro.core import INFlessEngine
-    from repro.profiling import GroundTruthExecutor, build_default_predictor
-    from repro.simulation import ServingSimulation
+    from repro.api import Experiment
+    from repro.profiling import build_default_predictor
     from repro.workloads import build_osvt
     from repro.workloads.generators import bursty_trace
 
@@ -157,25 +155,20 @@ def bench_fig12_trace(quick: bool = False) -> int:
         seed=22,
     )
     app = build_osvt()
-    workload = {
-        name: trace.with_mean(rps)
-        for name, rps in app.rps_split(trace.mean_rps).items()
-    }
-    engine = INFlessEngine(
-        build_testbed_cluster(), predictor=build_default_predictor()
-    )
-    for function in app.functions:
-        engine.deploy(function)
-    simulation = ServingSimulation(
-        platform=engine,
-        executor=GroundTruthExecutor(),
-        workload=workload,
+    experiment = Experiment(
+        platform="infless",
+        predictor=build_default_predictor(),
+        functions=app.functions,
+        workload={
+            name: trace.with_mean(rps)
+            for name, rps in app.rps_split(trace.mean_rps).items()
+        },
         warmup_s=10.0,
         invariants="off",
         seed=5,
     )
-    simulation.run()
-    return simulation.loop.processed
+    experiment.run()
+    return experiment.simulation.loop.processed
 
 
 def bench_fig18_largescale(quick: bool = False) -> int:
@@ -215,25 +208,21 @@ def bench_fig18_largescale(quick: bool = False) -> int:
 # ----------------------------------------------------------------------
 def _small_simulation(duration_s: float = 20.0):
     """A small seeded serving run shared by micro-benchmarks."""
-    from repro.cluster import build_testbed_cluster
-    from repro.core import FunctionSpec, INFlessEngine
-    from repro.profiling import GroundTruthExecutor, build_default_predictor
-    from repro.simulation import ServingSimulation
+    from repro.api import Experiment
+    from repro.core import FunctionSpec
+    from repro.profiling import build_default_predictor
     from repro.workloads import constant_trace
 
-    engine = INFlessEngine(
-        build_testbed_cluster(num_servers=4),
-        predictor=build_default_predictor(),
-    )
     function = FunctionSpec.for_model("resnet-50", slo_s=0.2)
-    engine.deploy(function)
-    return ServingSimulation(
-        platform=engine,
-        executor=GroundTruthExecutor(),
+    return Experiment(
+        platform="infless",
+        servers=4,
+        predictor=build_default_predictor(),
+        functions=[function],
         workload={function.name: constant_trace(100.0, duration_s)},
         invariants="off",
         seed=7,
-    )
+    ).build()
 
 
 MICRO_BENCHMARKS: Dict[str, Callable[[bool], int]] = {

@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli capacity --app osvt --servers 8
     python -m repro.cli simulate --model resnet-50 --rps 300 --duration 120 \\
         --trace-out run.jsonl --timeline-out run.csv --output json
+    python -m repro.cli simulate --faults examples/chaos_plan.json \\
+        --check-invariants
     python -m repro.cli trace-summary run.jsonl
     python -m repro.cli coldstart --days 2
     python -m repro.cli bench --quick event_queue fig18_largescale
@@ -25,6 +27,7 @@ from typing import List, Optional
 
 from repro.analysis import stress_capacity
 from repro.analysis.reporting import format_table
+from repro.api import PLATFORMS, Experiment
 from repro.baselines import BatchOTP, OpenFaaSPlus
 from repro.cluster import build_testbed_cluster
 from repro.core import (
@@ -34,13 +37,12 @@ from repro.core import (
     INFlessEngine,
     LongShortTermHistogram,
 )
+from repro.faults import FaultPlan, ResiliencePolicy
 from repro.models import list_models
 from repro.profiling import GroundTruthExecutor, build_default_predictor
-from repro.simulation import ServingSimulation, compare_policies
+from repro.simulation import compare_policies
 from repro.telemetry import (
     SUMMARY_HEADER,
-    InMemoryTracer,
-    TimelineRecorder,
     read_jsonl,
     summarize_events,
     summary_rows,
@@ -126,29 +128,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 print(f"cannot write {path}: no such directory {parent!r}",
                       file=sys.stderr)
                 return 1
-    predictor = build_default_predictor()
-    engine = INFlessEngine(
-        build_testbed_cluster(num_servers=args.servers), predictor=predictor
-    )
+    try:
+        faults = FaultPlan.coerce(args.faults)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load fault plan {args.faults}: {exc}", file=sys.stderr)
+        return 1
+    resilience = None
+    if faults is not None and not args.no_resilience:
+        resilience = ResiliencePolicy(max_retries=args.max_retries)
     function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
-    engine.deploy(function)
-    tracing = bool(args.trace_out or args.chrome_trace_out)
-    tracer = InMemoryTracer() if tracing else None
-    timeline = (
-        TimelineRecorder()
-        if args.timeline_out or args.chrome_trace_out
-        else None
-    )
-    report = ServingSimulation(
-        platform=engine,
-        executor=GroundTruthExecutor(),
+    experiment = Experiment(
+        platform=args.platform,
+        servers=args.servers,
+        functions=[function],
         workload={function.name: constant_trace(args.rps, args.duration)},
         warmup_s=min(20.0, args.duration / 4),
-        tracer=tracer,
-        timeline=timeline,
+        telemetry=bool(args.trace_out or args.chrome_trace_out),
+        timeline=bool(args.timeline_out or args.chrome_trace_out),
         invariants=args.check_invariants,
+        faults=faults,
+        resilience=resilience,
         seed=args.seed,
-    ).run()
+    )
+    report = experiment.run()
+    tracer = experiment.tracer
+    timeline = experiment.timeline
     if report.invariant_violations:
         print(
             f"{len(report.invariant_violations)} invariant violation(s)"
@@ -185,20 +189,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         or "-"
     )
-    print(format_table(
-        ["metric", "value"],
-        [
-            ["completed", report.completed],
-            ["achieved RPS", f"{report.achieved_rps:.1f}"],
-            ["SLO violations", f"{report.violation_rate:.2%}"],
-            ["drops", f"{report.drop_rate:.2%}"],
-            ["drop reasons", drop_reasons],
-            ["mean latency", f"{report.latency_mean_s * 1e3:.1f} ms"],
-            ["p99 latency", f"{report.latency_p99_s * 1e3:.1f} ms"],
-            ["batch sizes", dict(sorted(report.batch_histogram.items()))],
-            ["thpt/resource", f"{report.normalized_throughput:.2f}"],
-        ],
-    ))
+    rows = [
+        ["completed", report.completed],
+        ["achieved RPS", f"{report.achieved_rps:.1f}"],
+        ["SLO violations", f"{report.violation_rate:.2%}"],
+        ["drops", f"{report.drop_rate:.2%}"],
+        ["drop reasons", drop_reasons],
+        ["mean latency", f"{report.latency_mean_s * 1e3:.1f} ms"],
+        ["p99 latency", f"{report.latency_p99_s * 1e3:.1f} ms"],
+        ["batch sizes", dict(sorted(report.batch_histogram.items()))],
+        ["thpt/resource", f"{report.normalized_throughput:.2f}"],
+    ]
+    if report.resilience is not None:
+        summary = report.resilience
+        mttr = summary.get("mttr_s") or {}
+        rows.extend([
+            ["availability", f"{summary['availability']:.2%}"],
+            ["faults injected", summary["faults_injected"]],
+            ["retries", summary["retries"]],
+            ["retry completions", summary["retry_completions"]],
+            ["re-dispatched", summary["redispatched"]],
+            ["MTTR", ", ".join(
+                f"{name}={value:.2f}s" for name, value in sorted(mttr.items())
+            ) or "-"],
+        ])
+    print(format_table(["metric", "value"], rows))
     return 0
 
 
@@ -336,11 +351,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="discrete-event serving run")
     simulate.add_argument("--model", default="resnet-50")
+    simulate.add_argument(
+        "--platform", default="infless", choices=sorted(PLATFORMS),
+        help="serving platform to run (default: infless)",
+    )
     simulate.add_argument("--rps", type=float, default=300.0)
     simulate.add_argument("--duration", type=float, default=120.0)
     simulate.add_argument("--slo-ms", type=float, default=200.0)
     simulate.add_argument("--servers", type=int, default=8)
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--faults", metavar="PATH", default=None,
+        help="inject the FaultPlan JSON at PATH (see docs/faults.md);"
+             " enables retries/deadlines/shedding unless --no-resilience",
+    )
+    simulate.add_argument(
+        "--no-resilience", action="store_true",
+        help="run the fault plan without retries, deadlines or shedding",
+    )
+    simulate.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per request when resilience is active",
+    )
     simulate.add_argument(
         "--output", choices=("table", "json"), default="table",
         help="report format: human table or machine-readable JSON",
@@ -359,9 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--check-invariants", choices=("off", "collect", "strict"),
-        default="off",
+        nargs="?", const="strict", default="off",
         help="run the conservation-invariant audit layer: collect folds"
-             " findings into the report, strict aborts on the first",
+             " findings into the report, strict (the bare-flag default)"
+             " aborts on the first",
     )
 
     trace_summary = sub.add_parser(

@@ -260,6 +260,24 @@ class AutoScaler:
         self.stats.failures += len(lost_instances)
         return lost_instances
 
+    def kill_instance(self, name: str, now: float):
+        """Terminate one active instance of ``name`` (container crash).
+
+        Deterministically picks the youngest instance (highest id),
+        releases its placement and returns it; None when the function
+        has no active instances to kill.
+        """
+        group = self._active.get(name)
+        if not group:
+            return None
+        victim = max(group, key=lambda inst: inst.instance_id)
+        group.remove(victim)
+        self.scheduler.release(victim)
+        victim.assigned_rate = 0.0
+        self.version += 1
+        self.stats.failures += 1
+        return victim
+
     # ------------------------------------------------------------------
     # the control step
     # ------------------------------------------------------------------

@@ -9,6 +9,7 @@ this class only.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.core.function import FunctionSpec
 from repro.core.instance import Instance
 from repro.core.lsth import LongShortTermHistogram
 from repro.core.scheduler import GreedyScheduler
+from repro.faults.resilience import backlog_sheds
 from repro.profiling.configspace import ConfigSpace
 from repro.profiling.predictor import LatencyPredictor, build_default_predictor
 
@@ -36,24 +38,33 @@ class INFlessEngine:
         cluster: the cluster to manage.
         predictor: COP latency predictor; profiled on first use when
             omitted.
+        name: platform name used in reports and benchmarks.
+        seed: seed for the weighted request router.
         policy: keep-alive policy (defaults to LSTH with gamma = 0.5).
         config_space: the discrete instance configuration space.
         alpha: dispatcher oscillation-damping constant (paper: 0.8).
-        seed: seed for the weighted request router.
     """
 
     invariant_slo_check = "exact"
+    #: protocol knobs -- INFless models no extra gateway hop and uses
+    #: the paper's two-waiting-batches queue bound.
+    ingress_delay_s = 0.0
+    waiting_batches = 2
+    #: shed threshold in units of ``capacity_rps * slo_s``.
+    shed_slo_factor = 2.0
 
     def __init__(
         self,
         cluster: Cluster,
         predictor: Optional[LatencyPredictor] = None,
+        *,
+        name: str = "infless",
+        seed: int = 123,
         policy: Optional[KeepAlivePolicy] = None,
         config_space: Optional[ConfigSpace] = None,
         alpha: float = ALPHA_DEFAULT,
-        seed: int = 123,
     ) -> None:
-        self.name = "infless"
+        self.name = name
         self.cluster = cluster
         self.predictor = predictor or build_default_predictor()
         self.policy = policy or LongShortTermHistogram()
@@ -163,10 +174,14 @@ class INFlessEngine:
         index = int(cdf.searchsorted(self._rng.random(), side="right"))
         return candidates[index]
 
+    def timeout_slack_s(self, function: FunctionSpec) -> float:
+        """INFless spends the whole timeout budget on batching."""
+        return 0.0
+
     # ------------------------------------------------------------------
     # failures
     # ------------------------------------------------------------------
-    def handle_server_failure(self, server_id: int, now: float) -> List[Instance]:
+    def on_server_failure(self, server_id: int, now: float) -> List[Instance]:
         """React to a machine loss: terminate its instances.
 
         Returns the lost instances so the serving runtime can re-route
@@ -176,6 +191,32 @@ class INFlessEngine:
         lost_placements = self.cluster.fail_server(server_id)
         ids = {placement.placement_id for placement in lost_placements}
         return self.autoscaler.evict_lost(ids, now)
+
+    def handle_server_failure(self, server_id: int, now: float) -> List[Instance]:
+        """Deprecated alias of :meth:`on_server_failure`."""
+        warnings.warn(
+            "handle_server_failure is deprecated; use on_server_failure",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.on_server_failure(server_id, now)
+
+    def should_shed(self, name: str, now: float, pending: int) -> bool:
+        """Shed when the backlog exceeds the ready fleet's SLO budget."""
+        function = self._functions.get(name)
+        if function is None:
+            return False
+        return backlog_sheds(
+            self.autoscaler.active_instances(name),
+            pending,
+            now,
+            function.slo_s,
+            self.shed_slo_factor,
+        )
+
+    def kill_instance(self, name: str, now: float) -> Optional[Instance]:
+        """Terminate one instance of ``name`` (container-crash fault)."""
+        return self.autoscaler.kill_instance(name, now)
 
     # ------------------------------------------------------------------
     # capacity views

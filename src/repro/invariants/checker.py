@@ -6,9 +6,9 @@ machinery is internally consistent while INFless and the baselines run.
 Checked families:
 
 * **request conservation** -- at every control tick and at finalize,
-  ``arrived == completed + dropped + parked + queued + executing``:
-  the simulator may move requests between states but never invent or
-  lose one;
+  ``arrived == completed + dropped + parked + queued + executing +
+  retrying``: the simulator may move requests between states (including
+  a crash/re-dispatch cycle) but never invent or lose one;
 * **resource conservation** -- per healthy server,
   ``allocated + free == capacity`` in every dimension, no free pool
   ever negative or above capacity, the per-device GPU bookkeeping sums
@@ -160,6 +160,7 @@ class InvariantChecker:
             "parked": parked,
             "queued": queued,
             "executing": sim._executing,
+            "retrying": getattr(sim, "_retry_pending", 0),
         }
 
     def check_request_conservation(self, sim: object, now: float) -> None:
@@ -173,6 +174,7 @@ class InvariantChecker:
             + counts["parked"]
             + counts["queued"]
             + counts["executing"]
+            + counts["retrying"]
         )
         if accounted != counts["arrived"]:
             self._flag(
@@ -328,7 +330,10 @@ class InvariantChecker:
     # latency tiling
     # ------------------------------------------------------------------
     def check_latency_tiling(self, sim: object, now: float) -> None:
-        chained = bool(sim.chains)
+        # Retried requests spend time in the crashed attempt and the
+        # backoff window that no wait bucket sees: like chain stages,
+        # the parts then only lower-bound the end-to-end latency.
+        chained = bool(sim.chains) or getattr(sim, "_retries", 0) > 0
         for record in sim.metrics.records:
             latency = record.completion - record.arrival
             parts = record.cold_wait_s + record.queue_wait_s + record.exec_s

@@ -19,6 +19,10 @@ class EventKind(enum.Enum):
     CONTROL_TICK = "control_tick"
     #: an injected server failure (fault-tolerance experiments).
     SERVER_FAILURE = "server_failure"
+    #: a materialized fault-plan event fires (repro.faults).
+    FAULT = "fault"
+    #: a backed-off retry of a stranded request re-enters dispatch.
+    RETRY = "retry"
 
 
 class Event:

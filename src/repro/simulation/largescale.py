@@ -165,8 +165,20 @@ def function_loads(
     }
 
 
+def _resolve_factory(
+    factory: "Callable[[Cluster], object] | str",
+) -> Callable[[Cluster], object]:
+    """Accept a ``cluster -> platform`` callable or a registry name."""
+    if isinstance(factory, str):
+        from repro.api import make_platform
+
+        name = factory
+        return lambda cluster: make_platform(name, cluster)
+    return factory
+
+
 def largescale_capacity(
-    platform_factory: Callable[[Cluster], object],
+    platform_factory: "Callable[[Cluster], object] | str",
     num_functions: int,
     num_servers: int = LARGE_CLUSTER_SERVERS,
     slos: Sequence[float] = FLEET_SLOS,
@@ -174,7 +186,7 @@ def largescale_capacity(
 ) -> ProvisioningResult:
     """Provision a fixed fleet load through one platform (Fig. 18)."""
     cluster = build_large_cluster(num_servers)
-    platform = platform_factory(cluster)
+    platform = _resolve_factory(platform_factory)(cluster)
     functions = make_function_fleet(num_functions, slos=slos)
     loads = function_loads(functions, base_rps=base_rps)
     overhead = 0.0
@@ -195,7 +207,7 @@ def largescale_capacity(
 
 
 def throughput_vs_functions(
-    platform_factories: Dict[str, Callable[[Cluster], object]],
+    platform_factories: "Dict[str, Callable[[Cluster], object] | str]",
     function_counts: Sequence[int] = (10, 20, 30, 40),
     num_servers: int = LARGE_CLUSTER_SERVERS,
     base_rps: float = 400.0,
@@ -218,7 +230,7 @@ def throughput_vs_functions(
 
 
 def throughput_vs_slo(
-    platform_factories: Dict[str, Callable[[Cluster], object]],
+    platform_factories: "Dict[str, Callable[[Cluster], object] | str]",
     slos: Sequence[float] = (0.15, 0.2, 0.25, 0.3),
     num_functions: int = 20,
     num_servers: int = LARGE_CLUSTER_SERVERS,

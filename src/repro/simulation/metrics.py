@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -81,6 +81,10 @@ class SimulationReport:
     #: invariant-audit findings folded in under collect mode (empty
     #: when strict checking is on -- violations raise instead).
     invariant_violations: List[Dict[str, object]] = field(default_factory=list)
+    #: resilience/chaos summary (availability, retries, re-dispatches,
+    #: per-function MTTR); None on zero-fault runs so the report stays
+    #: bit-identical to pre-faults goldens.
+    resilience: Optional[Dict[str, object]] = None
 
     @property
     def violation_rate(self) -> float:
@@ -101,6 +105,13 @@ class SimulationReport:
             return 0.0
         return (self.completed - self.slo_violations) / self.duration_s
 
+    @property
+    def availability(self) -> float:
+        """Fraction of arrived requests that completed (1.0 when idle)."""
+        if self.arrived == 0:
+            return 1.0
+        return self.completed / self.arrived
+
     def to_dict(self) -> Dict:
         """A JSON-serialisable view (tuple keys stringified)."""
         from dataclasses import asdict
@@ -116,6 +127,10 @@ class SimulationReport:
         payload["violation_rate"] = self.violation_rate
         payload["drop_rate"] = self.drop_rate
         payload["goodput_rps"] = self.goodput_rps
+        # Zero-fault runs must serialise exactly as they did before the
+        # resilience layer existed (bit-identical golden reports).
+        if self.resilience is None:
+            payload.pop("resilience", None)
         return payload
 
 

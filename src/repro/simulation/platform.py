@@ -19,6 +19,12 @@ from repro.core.instance import Instance
 class ServingPlatform(Protocol):
     """What the runtime expects from a serving platform.
 
+    Everything the runtime consumes is declared here -- including the
+    ingress/queueing knobs (``ingress_delay_s``, ``waiting_batches``,
+    ``timeout_slack_s``) and the fault hooks (``on_server_failure``,
+    ``should_shed``, ``kill_instance``) that earlier revisions probed
+    with ``getattr`` type-sniffing.
+
     Telemetry: platforms need not declare anything here, but when the
     runtime runs with a recording tracer it attaches the tracer to the
     platform (and to its ``autoscaler``/``policy`` components when
@@ -27,6 +33,15 @@ class ServingPlatform(Protocol):
     """
 
     cluster: Cluster
+
+    #: human-readable platform name used in reports and benchmarks.
+    name: str
+
+    #: fixed network/gateway delay added to every arrival (seconds).
+    ingress_delay_s: float
+
+    #: per-instance bounded batch-queue depth (Fig. 6a waiting rule).
+    waiting_batches: int
 
     def deploy(self, function: FunctionSpec) -> None:
         """Register a function before the simulation starts."""
@@ -49,3 +64,16 @@ class ServingPlatform(Protocol):
 
     def instances(self, name: str) -> List[Instance]:
         """The function's currently active instances."""
+
+    def timeout_slack_s(self, function: FunctionSpec) -> float:
+        """Slack subtracted from the batch-timeout budget (seconds)."""
+
+    # -- fault hooks -----------------------------------------------------
+    def on_server_failure(self, server_id: int, now: float) -> List[Instance]:
+        """A machine died: evict its placements, return lost instances."""
+
+    def should_shed(self, name: str, now: float, pending: int) -> bool:
+        """Whether a new arrival should be load-shed given the backlog."""
+
+    def kill_instance(self, name: str, now: float) -> Optional[Instance]:
+        """Terminate one instance of ``name`` (container-crash fault)."""

@@ -18,17 +18,35 @@ The control loop ticks every ``control_interval_s``: it estimates each
 function's RPS (measured EWMA by default, or an oracle reading of the
 trace), runs the platform's auto-scaler, re-dispatches parked requests
 and samples resource usage.
+
+Fault injection (``repro.faults``): a seeded :class:`FaultPlan` is
+materialized into ordinary heap events, and a
+:class:`~repro.faults.ResiliencePolicy` adds per-request deadlines,
+exponential-backoff retries of requests stranded in lost batches, and
+gateway load-shedding.  With neither configured the zero-fault replay
+is bit-identical to a runtime without this machinery.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import deque
-from typing import Deque, Dict, Optional, Union
+import warnings
+from collections import Counter, deque
+from dataclasses import asdict
+from typing import Deque, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.core.instance import Instance, InstanceState
+from repro.faults import (
+    ColdStartStraggler,
+    FaultPlan,
+    IngressSpike,
+    InstanceKill,
+    ResiliencePolicy,
+    ServerCrash,
+    ServerRecovery,
+)
 from repro.invariants import InvariantChecker, resolve_checker
 from repro.profiling.executor import GroundTruthExecutor
 from repro.simulation.engine import EventLoop
@@ -36,9 +54,11 @@ from repro.simulation.events import Event, EventKind
 from repro.simulation.metrics import MetricsCollector, RequestRecord, SimulationReport
 from repro.simulation.platform import ServingPlatform
 from repro.telemetry import (
+    DROP_DEADLINE,
     DROP_NO_CAPACITY,
     DROP_QUEUE_FULL,
     DROP_SERVER_FAILURE,
+    DROP_SHED,
     DROP_SLO_UNREACHABLE,
     NULL_TRACER,
     TimelineRecorder,
@@ -63,7 +83,10 @@ class Request:
     so per-object dict overhead dominates replay memory otherwise.
     """
 
-    __slots__ = ("function", "arrival", "slo_s", "origin_arrival", "request_id")
+    __slots__ = (
+        "function", "arrival", "slo_s", "origin_arrival", "request_id",
+        "attempt",
+    )
 
     def __init__(
         self,
@@ -80,6 +103,9 @@ class Request:
         self.request_id = (
             next(_request_ids) if request_id is None else request_id
         )
+        #: how many times the request has been re-dispatched after
+        #: being stranded in a lost batch (resilience retries).
+        self.attempt = 0
 
     @property
     def origin(self) -> float:
@@ -97,7 +123,7 @@ class Request:
 class _BatchInFlight:
     """One executing batch: its instance, members and timing."""
 
-    __slots__ = ("instance", "requests", "start", "exec_s", "batch_id")
+    __slots__ = ("instance", "requests", "start", "exec_s", "batch_id", "lost")
 
     def __init__(
         self,
@@ -113,6 +139,9 @@ class _BatchInFlight:
         self.exec_s = exec_s
         # tracer-assigned batch id (0 with the null tracer).
         self.batch_id = batch_id
+        # set when the batch died with its server and its requests were
+        # already re-accounted (retried or dropped) at crash time.
+        self.lost = False
 
 
 class ServingSimulation:
@@ -148,6 +177,16 @@ class ServingSimulation:
             pre-built :class:`~repro.invariants.InvariantChecker`;
             ``None`` resolves the process-wide default mode (off in
             production, strict under the test suite).
+        faults: optional chaos scenario -- a
+            :class:`~repro.faults.FaultPlan`, its dict form, or a path
+            to a plan JSON file; materialized into simulation events at
+            :meth:`run`.
+        resilience: optional
+            :class:`~repro.faults.ResiliencePolicy` (or ``True`` for
+            the defaults) enabling deadlines, retries of requests
+            stranded in lost batches, and gateway load-shedding.  Retry
+            jitter draws from its own seeded stream so the main
+            arrival/routing/execution stream is untouched.
         seed: randomness for arrival sampling, routing noise and
             execution-time noise.
     """
@@ -168,6 +207,8 @@ class ServingSimulation:
         tracer: Optional[Tracer] = None,
         timeline: Optional[TimelineRecorder] = None,
         invariants: Union[None, str, InvariantChecker] = None,
+        faults: Union[None, FaultPlan, Dict[str, object], str] = None,
+        resilience: Union[None, bool, ResiliencePolicy] = None,
         seed: int = 42,
     ) -> None:
         if rate_mode not in ("measured", "oracle"):
@@ -210,6 +251,44 @@ class ServingSimulation:
         #: requests currently inside an executing batch; the audit
         #: layer's request-conservation ledger needs the exact count.
         self._executing = 0
+        # -- fault injection and resilience ----------------------------
+        self.faults = FaultPlan.coerce(faults)
+        if resilience is True:
+            resilience = ResiliencePolicy()
+        elif resilience is False:
+            resilience = None
+        self.resilience: Optional[ResiliencePolicy] = resilience
+        #: dedicated jitter stream: retries must not perturb the main
+        #: arrival/routing/execution stream.
+        self._retry_rng = (
+            np.random.default_rng(resilience.seed)
+            if resilience is not None
+            else None
+        )
+        self._shed = resilience is not None and resilience.shed_enabled
+        #: requests waiting out a retry backoff (conservation ledger).
+        self._retry_pending = 0
+        self._retries = 0
+        self._retry_completions = 0
+        self._redispatched = 0
+        #: instance_id -> executing batch, kept only on chaos runs so
+        #: crashes can recover stranded requests at fault time.
+        self._track_inflight = (
+            self.faults is not None or self.resilience is not None
+        )
+        self._inflight: Dict[int, _BatchInFlight] = {}
+        self._fault_counts: Counter = Counter()
+        #: per-function open outage start / closed outage durations,
+        #: feeding the MTTR metric (outage = instance loss until the
+        #: next completed batch of that function).
+        self._outage_start: Dict[str, float] = {}
+        self._outage_durations: Dict[str, List[float]] = {}
+        self._straggler_windows: List[ColdStartStraggler] = []
+        self._stretched: set = set()
+        # Protocol knobs read once: the platform declares them
+        # (ServingPlatform), so the runtime never type-sniffs.
+        self._ingress_delay_s = platform.ingress_delay_s
+        self._waiting_batches = platform.waiting_batches
         self._pending: Dict[str, Deque[Request]] = {
             name: deque() for name in self._managed
         }
@@ -226,6 +305,8 @@ class ServingSimulation:
         self.loop.on(EventKind.BATCH_COMPLETE, self._on_batch_complete)
         self.loop.on(EventKind.CONTROL_TICK, self._on_control_tick)
         self.loop.on(EventKind.SERVER_FAILURE, self._on_server_failure)
+        self.loop.on(EventKind.FAULT, self._on_fault)
+        self.loop.on(EventKind.RETRY, self._on_retry)
 
     # ------------------------------------------------------------------
     # setup
@@ -234,7 +315,8 @@ class ServingSimulation:
         # OTP designs route requests through an external buffer layer
         # before they reach the platform; the request's user-visible
         # arrival predates its dispatch by that ingress delay.
-        delay = getattr(self.platform, "ingress_delay_s", 0.0)
+        delay = self._ingress_delay_s
+        spikes = self.faults.ingress_spikes() if self.faults is not None else []
         for name, trace in self.workload.items():
             slo = self.platform.function(name).slo_s
             if self.chains and self.end_to_end_slo_s is not None:
@@ -242,7 +324,14 @@ class ServingSimulation:
             times = sample_arrivals(trace, self._rng)
             for t in times:
                 request = Request(function=name, arrival=float(t), slo_s=slo)
-                self.loop.schedule(float(t) + delay, EventKind.ARRIVAL, request)
+                extra = 0.0
+                if spikes:
+                    for spike in spikes:
+                        if spike.covers(float(t)):
+                            extra += spike.extra_delay_s
+                self.loop.schedule(
+                    float(t) + delay + extra, EventKind.ARRIVAL, request
+                )
 
     # ------------------------------------------------------------------
     # arrival path
@@ -256,6 +345,11 @@ class ServingSimulation:
             )
         self._arrivals_since_tick[request.function] += 1
         self.platform.record_invocation(request.function, self.loop.now)
+        if self._shed and self.platform.should_shed(
+            request.function, self.loop.now, len(self._pending[request.function])
+        ):
+            self._drop(request, DROP_SHED)
+            return
         self._dispatch(request)
 
     def _drop(self, request: Request, reason: str) -> None:
@@ -266,6 +360,11 @@ class ServingSimulation:
             )
 
     def _dispatch(self, request: Request) -> None:
+        if self.resilience is not None and self.resilience.expired(
+            self.loop.now, request.origin, request.slo_s
+        ):
+            self._drop(request, DROP_DEADLINE)
+            return
         instance = self.platform.route(request.function, self.loop.now)
         if instance is None:
             pending = self._pending[request.function]
@@ -290,8 +389,7 @@ class ServingSimulation:
             # number of waiting batches may accumulate (the assembling
             # batch plus one full pending batch by default); overflow
             # requests are dropped.
-            depth = getattr(self.platform, "waiting_batches", 2)
-            if instance.busy and len(queue) >= batch * depth:
+            if instance.busy and len(queue) >= batch * self._waiting_batches:
                 self._drop(request, DROP_QUEUE_FULL)
                 return
         else:
@@ -375,12 +473,20 @@ class ServingSimulation:
             instance=instance, requests=requests, start=now, exec_s=exec_s,
             batch_id=batch_id,
         )
+        if self._track_inflight:
+            self._inflight[instance.instance_id] = batch
         self.loop.schedule(now + exec_s, EventKind.BATCH_COMPLETE, batch)
 
     def _on_batch_complete(self, event: Event) -> None:
         batch: _BatchInFlight = event.payload
+        if batch.lost:
+            # The batch died with its server and its requests were
+            # already retried/dropped at crash time.
+            return
         instance = batch.instance
         now = self.loop.now
+        if self._track_inflight:
+            self._inflight.pop(instance.instance_id, None)
         self._executing -= len(batch.requests)
         config = instance.config
         if (
@@ -397,6 +503,8 @@ class ServingSimulation:
             if next_stage is not None:
                 self._forward(request, next_stage)
                 continue
+            if request.attempt:
+                self._retry_completions += 1
             total_wait = batch.start - request.arrival
             cold_wait = min(
                 max(0.0, instance.ready_at - request.arrival), total_wait
@@ -429,6 +537,14 @@ class ServingSimulation:
                     (config.batch, config.cpu, config.gpu),
                     request.slo_s,
                 )
+        if self._outage_start:
+            # First completed batch of the function after an instance
+            # loss closes the outage (the MTTR sample).
+            started = self._outage_start.pop(instance.function.name, None)
+            if started is not None:
+                self._outage_durations.setdefault(
+                    instance.function.name, []
+                ).append(now - started)
         instance.busy = False
         if instance.queue.is_empty:
             instance.idle_since = now
@@ -438,12 +554,24 @@ class ServingSimulation:
     # fault injection
     # ------------------------------------------------------------------
     def schedule_server_failure(self, at_s: float, server_id: int) -> None:
-        """Inject a machine loss at an absolute simulation time."""
+        """Deprecated: put a ``ServerCrash`` in a ``FaultPlan`` instead."""
+        warnings.warn(
+            "schedule_server_failure is deprecated; pass a FaultPlan with a"
+            " ServerCrash event instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.loop.schedule(at_s, EventKind.SERVER_FAILURE, server_id)
 
     def _on_server_failure(self, event: Event) -> None:
-        server_id: int = event.payload
-        handler = getattr(self.platform, "handle_server_failure", None)
+        self._crash_server(event.payload)
+
+    def _crash_server(self, server_id: int) -> None:
+        """Kill one machine through the platform's failure hook."""
+        handler = getattr(self.platform, "on_server_failure", None)
+        if handler is None:
+            # Pre-protocol platforms may still carry the old hook name.
+            handler = getattr(self.platform, "handle_server_failure", None)
         if handler is None:
             raise RuntimeError(
                 f"{type(self.platform).__name__} cannot handle server failures"
@@ -451,12 +579,121 @@ class ServingSimulation:
         lost = handler(server_id, self.loop.now)
         if self._trace:
             self.tracer.server_failure(self.loop.now, server_id, len(lost))
-        # Queued (not yet executing) requests survived in the gateway:
-        # re-dispatch them to the remaining instances.
+        self._handle_lost_instances(lost)
+
+    def _handle_lost_instances(self, lost: List[Instance]) -> None:
+        """Re-account every request stranded on dead instances.
+
+        Queued (not yet executing) requests survived in the gateway and
+        are re-dispatched to the remaining fleet.  Requests inside an
+        executing batch died with the machine: under a resilience
+        policy they are retried with backoff (or dropped once the
+        policy's budget is spent); without one the legacy path lets the
+        scheduled BATCH_COMPLETE event drop them, exactly as before the
+        resilience layer existed.
+        """
+        now = self.loop.now
         for instance in lost:
+            if self.resilience is not None:
+                batch = self._inflight.pop(instance.instance_id, None)
+                if batch is not None:
+                    batch.lost = True
+                    self._executing -= len(batch.requests)
+                    instance.busy = False
+                    for request in batch.requests:
+                        self._retry_or_drop(request, DROP_SERVER_FAILURE)
+            if self.faults is not None:
+                self._outage_start.setdefault(instance.function.name, now)
             while instance.queue is not None and not instance.queue.is_empty:
-                for request in instance.queue.drain(self.loop.now):
+                for request in instance.queue.drain(now):
+                    self._redispatched += 1
                     self._dispatch(request)
+
+    def _on_fault(self, event: Event) -> None:
+        """Execute one materialized fault-plan event."""
+        fault = event.payload
+        now = self.loop.now
+        self._fault_counts[fault.kind] += 1
+        if self._trace:
+            detail = ", ".join(
+                f"{key}={value}"
+                for key, value in asdict(fault).items()
+                if key not in ("kind", "at_s")
+            )
+            self.tracer.fault_injected(now, fault.kind, detail)
+        if isinstance(fault, ServerCrash):
+            self._crash_server(fault.server_id)
+        elif isinstance(fault, ServerRecovery):
+            cluster = self.platform.cluster
+            if not cluster.server(fault.server_id).healthy:
+                cluster.recover_server(fault.server_id)
+                if self._trace:
+                    self.tracer.server_recovery(now, fault.server_id)
+        elif isinstance(fault, InstanceKill):
+            victim = self.platform.kill_instance(fault.function, now)
+            if victim is not None:
+                self._handle_lost_instances([victim])
+        elif isinstance(fault, ColdStartStraggler):
+            self._straggler_windows.append(fault)
+            self._apply_stragglers(now)
+        elif isinstance(fault, IngressSpike):
+            pass  # folded into arrival scheduling, nothing to do live
+
+    def _apply_stragglers(self, now: float) -> None:
+        """Stretch pending cold starts covered by a straggler window."""
+        self._straggler_windows = [
+            w for w in self._straggler_windows
+            if now < w.at_s + w.duration_s
+        ]
+        windows = [w for w in self._straggler_windows if w.at_s <= now]
+        if not windows:
+            return
+        factor = max(w.factor for w in windows)
+        for name in self._managed:
+            for instance in self.platform.instances(name):
+                if (
+                    instance.state == InstanceState.COLD_STARTING
+                    and instance.ready_at > now
+                    and instance.instance_id not in self._stretched
+                ):
+                    instance.ready_at = (
+                        now + (instance.ready_at - now) * factor
+                    )
+                    self._stretched.add(instance.instance_id)
+
+    # ------------------------------------------------------------------
+    # retries
+    # ------------------------------------------------------------------
+    def _retry_or_drop(self, request: Request, reason: str) -> None:
+        """Schedule a backed-off retry, or drop when the budget is out."""
+        policy = self.resilience
+        now = self.loop.now
+        attempt = request.attempt + 1
+        if attempt > policy.max_retries:
+            self._drop(request, reason)
+            return
+        delay = policy.backoff_s(attempt, float(self._retry_rng.random()))
+        if now + delay > policy.deadline_s(request.origin, request.slo_s):
+            self._drop(request, DROP_DEADLINE)
+            return
+        request.attempt = attempt
+        self._retry_pending += 1
+        self._retries += 1
+        if self._trace:
+            self.tracer.request_retry(
+                request.request_id, request.function, now, attempt, delay
+            )
+        self.loop.schedule(now + delay, EventKind.RETRY, request)
+
+    def _on_retry(self, event: Event) -> None:
+        request: Request = event.payload
+        self._retry_pending -= 1
+        # The retry re-enters the current stage: its batch deadline
+        # restarts here while the origin keeps driving the SLO/deadline.
+        if request.origin_arrival is None:
+            request.origin_arrival = request.arrival
+        request.arrival = self.loop.now
+        self._dispatch(request)
 
     def _forward(self, request: Request, next_stage: str) -> None:
         """Hand a completed stage's request to the next chain stage."""
@@ -502,6 +739,10 @@ class ServingSimulation:
             self._drain_pending(name)
             if self.timeline is not None:
                 self._sample_timeline(name, rate, action, now)
+        if self._straggler_windows:
+            # Cold starts launched by this control step inside an active
+            # straggler window are stretched too.
+            self._apply_stragglers(now)
         self._sample_usage(now)
         self._record_scaling_state(now)
         if self.invariants.enabled:
@@ -512,7 +753,13 @@ class ServingSimulation:
 
     def _drain_pending(self, name: str) -> None:
         pending = self._pending[name]
+        policy = self.resilience
         while pending:
+            if policy is not None and policy.expired(
+                self.loop.now, pending[0].origin, pending[0].slo_s
+            ):
+                self._drop(pending.popleft(), DROP_DEADLINE)
+                continue
             instance = self.platform.route(name, self.loop.now)
             if instance is None:
                 return
@@ -590,6 +837,10 @@ class ServingSimulation:
     def run(self) -> SimulationReport:
         """Replay the full workload and return the aggregated report."""
         self._schedule_arrivals()
+        if self.faults is not None:
+            num_servers = len(self.platform.cluster.servers)
+            for fault in self.faults.materialize(self._horizon, num_servers):
+                self.loop.schedule(fault.at_s, EventKind.FAULT, fault)
         self.loop.schedule(0.0, EventKind.CONTROL_TICK)
         self.loop.run()
         self._sample_usage(self.loop.now)
@@ -606,9 +857,40 @@ class ServingSimulation:
                 stats, "reserved_idle_resource_s", 0.0
             ),
         )
+        if self.faults is not None or self.resilience is not None:
+            report.resilience = self._resilience_summary(report)
         if self.invariants.enabled:
             self.invariants.check_report(self, report)
             report.invariant_violations = [
                 v.to_dict() for v in self.invariants.violations
             ]
         return report
+
+    def _resilience_summary(self, report: SimulationReport) -> Dict[str, object]:
+        """The chaos-run metrics block attached to the report."""
+        now = self.loop.now
+        durations = {
+            name: list(values)
+            for name, values in self._outage_durations.items()
+        }
+        # An outage still open at the end of the run never recovered;
+        # count the full remaining window so MTTR cannot hide it.
+        for name, started in self._outage_start.items():
+            durations.setdefault(name, []).append(now - started)
+        mttr = {
+            name: float(np.mean(values))
+            for name, values in sorted(durations.items())
+            if values
+        }
+        return {
+            "availability": report.availability,
+            "faults_injected": int(sum(self._fault_counts.values())),
+            "fault_counts": dict(self._fault_counts),
+            "retries": self._retries,
+            "retry_completions": self._retry_completions,
+            "redispatched": self._redispatched,
+            "mttr_s": mttr,
+            "policy": (
+                None if self.resilience is None else asdict(self.resilience)
+            ),
+        }

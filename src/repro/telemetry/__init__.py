@@ -9,10 +9,12 @@ JSONL / CSV / Chrome ``trace_event`` so a run opens directly in
 """
 
 from repro.telemetry.spans import (
+    DROP_DEADLINE,
     DROP_NO_CAPACITY,
     DROP_QUEUE_FULL,
     DROP_REASONS,
     DROP_SERVER_FAILURE,
+    DROP_SHED,
     DROP_SLO_UNREACHABLE,
     Span,
     TraceEvent,
@@ -43,10 +45,12 @@ from repro.telemetry.summary import (
 )
 
 __all__ = [
+    "DROP_DEADLINE",
     "DROP_NO_CAPACITY",
     "DROP_QUEUE_FULL",
     "DROP_REASONS",
     "DROP_SERVER_FAILURE",
+    "DROP_SHED",
     "DROP_SLO_UNREACHABLE",
     "Span",
     "TraceEvent",

@@ -26,12 +26,19 @@ DROP_NO_CAPACITY = "no_capacity"
 DROP_SLO_UNREACHABLE = "slo_unreachable"
 #: the serving machine died with the batch in flight.
 DROP_SERVER_FAILURE = "server_failure"
+#: the request outlived its resilience deadline (``deadline_factor * slo``).
+DROP_DEADLINE = "deadline_expired"
+#: load-shed at the gateway: the backlog already exceeds what the
+#: ready fleet can clear within the SLO.
+DROP_SHED = "shed_overload"
 
 DROP_REASONS = (
     DROP_QUEUE_FULL,
     DROP_NO_CAPACITY,
     DROP_SLO_UNREACHABLE,
     DROP_SERVER_FAILURE,
+    DROP_DEADLINE,
+    DROP_SHED,
 )
 
 
@@ -51,6 +58,9 @@ SCALE_DOWN = "scale_down"
 COLD_START = "cold_start"
 COLDSTART_DECISION = "coldstart_decision"
 SERVER_FAILURE = "server_failure"
+SERVER_RECOVERY = "server_recovery"
+REQUEST_RETRY = "request_retry"
+FAULT_INJECTED = "fault_injected"
 
 #: the per-request phase names, in lifecycle order.
 REQUEST_PHASES = ("cold_wait", "batch_wait", "exec")

@@ -130,6 +130,18 @@ class Tracer:
     def server_failure(self, ts: float, server: int, lost: int) -> None:
         """An injected machine loss took ``lost`` instances down."""
 
+    def server_recovery(self, ts: float, server: int) -> None:
+        """A failed machine was replaced by an empty one."""
+
+    def fault_injected(self, ts: float, kind: str, detail: str) -> None:
+        """A fault-plan event fired (kind is a FAULT_KINDS key)."""
+
+    def request_retry(
+        self, request: int, function: str, ts: float, attempt: int,
+        delay_s: float,
+    ) -> None:
+        """A stranded request was scheduled for re-dispatch."""
+
 
 #: alias making call sites explicit about the zero-overhead default.
 NullTracer = Tracer
@@ -317,6 +329,25 @@ class InMemoryTracer(Tracer):
     # -- faults ------------------------------------------------------------
     def server_failure(self, ts: float, server: int, lost: int) -> None:
         self._emit(ts, ev.SERVER_FAILURE, server=server, lost=lost)
+
+    def server_recovery(self, ts: float, server: int) -> None:
+        self._emit(ts, ev.SERVER_RECOVERY, server=server)
+
+    def fault_injected(self, ts: float, kind: str, detail: str) -> None:
+        self._emit(ts, ev.FAULT_INJECTED, fault=kind, detail=detail)
+
+    def request_retry(
+        self, request: int, function: str, ts: float, attempt: int,
+        delay_s: float,
+    ) -> None:
+        self._emit(
+            ts,
+            ev.REQUEST_RETRY,
+            request=self._request(request),
+            function=function,
+            attempt=attempt,
+            delay_s=delay_s,
+        )
 
 
 def attach_tracer(platform: Any, tracer: Optional[Tracer]) -> Tracer:

@@ -1,0 +1,214 @@
+"""The Experiment facade: parity with manual setup, registry, shims."""
+
+import json
+
+import pytest
+
+from repro.api import PLATFORMS, Experiment, make_platform
+from repro.baselines import BatchOTP, OpenFaaSPlus
+from repro.cluster import build_testbed_cluster
+from repro.core import FunctionSpec, INFlessEngine
+from repro.faults import FaultPlan, ResiliencePolicy, ServerCrash
+from repro.simulation import ServingSimulation
+from repro.workloads import constant_trace
+
+
+def _report_dict(report):
+    payload = report.to_dict()
+    payload.pop("scheduling_overhead_s", None)
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+class TestMakePlatform:
+    def test_registry_names(self):
+        assert set(PLATFORMS) == {"infless", "openfaas+", "batch", "batch+rs"}
+
+    def test_builds_each_platform(self, predictor):
+        for name, cls in PLATFORMS.items():
+            platform = make_platform(
+                name, build_testbed_cluster(num_servers=2), predictor
+            )
+            assert isinstance(platform, cls)
+            assert platform.name == name
+
+    def test_unknown_name_lists_choices(self, predictor):
+        with pytest.raises(KeyError, match="registered: batch"):
+            make_platform("knative", build_testbed_cluster(), predictor)
+
+    def test_options_forwarded(self, predictor):
+        platform = make_platform(
+            "openfaas+",
+            build_testbed_cluster(num_servers=2),
+            predictor,
+            keepalive_s=42.0,
+            seed=9,
+        )
+        assert platform.keepalive_s == 42.0
+
+    def test_constructors_are_keyword_only(self, predictor):
+        cluster = build_testbed_cluster(num_servers=2)
+        with pytest.raises(TypeError):
+            INFlessEngine(cluster, predictor, "a-name")
+        with pytest.raises(TypeError):
+            OpenFaaSPlus(cluster, predictor, "a-name")
+        with pytest.raises(TypeError):
+            BatchOTP(cluster, predictor, "a-name")
+
+
+class TestExperiment:
+    def test_matches_manual_setup_bit_for_bit(self, predictor, executor):
+        fn = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+        workload = {fn.name: constant_trace(200.0, 30.0)}
+
+        engine = INFlessEngine(
+            build_testbed_cluster(num_servers=4), predictor=predictor
+        )
+        engine.deploy(fn)
+        manual = ServingSimulation(
+            platform=engine,
+            executor=executor,
+            workload=workload,
+            warmup_s=5.0,
+            seed=3,
+        ).run()
+
+        built = Experiment(
+            platform="infless",
+            servers=4,
+            predictor=predictor,
+            functions=[fn],
+            workload=workload,
+            executor=executor,
+            warmup_s=5.0,
+            seed=3,
+        ).run()
+
+        assert _report_dict(built) == _report_dict(manual)
+
+    def test_accepts_prebuilt_platform_and_factory(self, predictor, executor):
+        fn = FunctionSpec.for_model("mobilenet", slo_s=0.2)
+        workload = {fn.name: constant_trace(50.0, 10.0)}
+        prebuilt = OpenFaaSPlus(build_testbed_cluster(num_servers=2), predictor)
+        from_object = Experiment(
+            platform=prebuilt,
+            functions=[fn],
+            workload=workload,
+            executor=executor,
+            seed=4,
+        ).run()
+        from_factory = Experiment(
+            platform=lambda c: OpenFaaSPlus(c, predictor),
+            servers=2,
+            functions=[fn],
+            workload=workload,
+            executor=executor,
+            seed=4,
+        ).run()
+        assert _report_dict(from_object) == _report_dict(from_factory)
+
+    def test_platform_options_rejected_for_prebuilt(self, predictor):
+        prebuilt = OpenFaaSPlus(build_testbed_cluster(num_servers=2), predictor)
+        experiment = Experiment(
+            platform=prebuilt,
+            workload={},
+            platform_options={"keepalive_s": 1.0},
+        )
+        with pytest.raises(ValueError, match="platform_options"):
+            experiment.build()
+
+    def test_coerces_faults_resilience_and_telemetry(
+        self, predictor, executor
+    ):
+        fn = FunctionSpec.for_model("mnist", slo_s=0.1)
+        experiment = Experiment(
+            platform="infless",
+            servers=2,
+            predictor=predictor,
+            functions=[fn],
+            workload={fn.name: constant_trace(20.0, 5.0)},
+            executor=executor,
+            faults={"events": [
+                {"kind": "server_crash", "at_s": 2.0, "server_id": 1}
+            ]},
+            resilience=True,
+            telemetry=True,
+            timeline=True,
+            seed=5,
+        )
+        report = experiment.run()
+        assert isinstance(experiment.faults, FaultPlan)
+        assert isinstance(experiment.resilience, ResiliencePolicy)
+        assert experiment.tracer is not None
+        assert experiment.tracer.events
+        assert experiment.timeline is not None
+        assert report.resilience is not None
+
+    def test_build_is_idempotent(self, predictor, executor):
+        fn = FunctionSpec.for_model("mnist", slo_s=0.1)
+        experiment = Experiment(
+            platform="infless",
+            servers=2,
+            predictor=predictor,
+            functions=[fn],
+            workload={fn.name: constant_trace(10.0, 2.0)},
+            executor=executor,
+        )
+        assert experiment.build() is experiment.build()
+
+
+class TestDeprecationShims:
+    def test_handle_server_failure_warns(self, predictor):
+        engine = INFlessEngine(
+            build_testbed_cluster(num_servers=2), predictor=predictor
+        )
+        with pytest.warns(DeprecationWarning, match="on_server_failure"):
+            engine.handle_server_failure(0, now=0.0)
+
+    def test_baseline_handle_server_failure_warns(self, predictor):
+        platform = OpenFaaSPlus(
+            build_testbed_cluster(num_servers=2), predictor
+        )
+        with pytest.warns(DeprecationWarning, match="on_server_failure"):
+            platform.handle_server_failure(0, now=0.0)
+
+    def test_schedule_server_failure_warns_and_matches_plan(
+        self, predictor, executor
+    ):
+        fn = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+        workload = {fn.name: constant_trace(100.0, 20.0)}
+
+        def run_legacy():
+            engine = INFlessEngine(
+                build_testbed_cluster(num_servers=2), predictor=predictor
+            )
+            engine.deploy(fn)
+            sim = ServingSimulation(
+                platform=engine,
+                executor=executor,
+                workload=workload,
+                seed=6,
+            )
+            with pytest.warns(DeprecationWarning, match="FaultPlan"):
+                sim.schedule_server_failure(8.0, server_id=0)
+            return sim.run()
+
+        def run_plan():
+            return Experiment(
+                platform="infless",
+                servers=2,
+                predictor=predictor,
+                functions=[fn],
+                workload=workload,
+                executor=executor,
+                faults=FaultPlan(
+                    events=(ServerCrash(at_s=8.0, server_id=0),)
+                ),
+                seed=6,
+            ).run()
+
+        legacy = _report_dict(run_legacy())
+        plan = _report_dict(run_plan())
+        # The plan path additionally reports the resilience block; the
+        # serving outcome itself is identical.
+        plan.pop("resilience")
+        assert legacy == plan

@@ -5,6 +5,7 @@ import pytest
 from repro.baselines import OpenFaaSPlus
 from repro.cluster import ResourceVector, build_testbed_cluster
 from repro.core import FunctionSpec, INFlessEngine, InstanceState
+from repro.faults import FaultPlan, ServerCrash
 from repro.profiling import GroundTruthExecutor
 from repro.simulation import ServingSimulation
 from repro.workloads import constant_trace
@@ -66,7 +67,7 @@ class TestEngineFailureHandling:
             inst for inst in engine.instances(fn.name)
             if inst.placement.server_id == 0
         ]
-        lost = engine.handle_server_failure(0, now=1.0)
+        lost = engine.on_server_failure(0, now=1.0)
         assert {i.instance_id for i in lost} == {i.instance_id for i in victims}
         for instance in lost:
             assert instance.state == InstanceState.TERMINATED
@@ -81,7 +82,12 @@ class TestEngineFailureHandling:
 
     def test_failure_with_no_instances_is_safe(self, predictor):
         engine = INFlessEngine(build_testbed_cluster(), predictor=predictor)
-        assert engine.handle_server_failure(3, now=0.0) == []
+        assert engine.on_server_failure(3, now=0.0) == []
+
+    def test_legacy_handler_name_warns_and_delegates(self, predictor):
+        engine = INFlessEngine(build_testbed_cluster(), predictor=predictor)
+        with pytest.warns(DeprecationWarning, match="on_server_failure"):
+            assert engine.handle_server_failure(3, now=0.0) == []
 
     def test_baseline_platform_handles_failure(self, predictor):
         platform = OpenFaaSPlus(build_testbed_cluster(), predictor)
@@ -92,7 +98,7 @@ class TestEngineFailureHandling:
             inst.placement.server_id for inst in platform.instances(fn.name)
         }
         victim_server = next(iter(affected_servers))
-        lost = platform.handle_server_failure(victim_server, now=1.0)
+        lost = platform.on_server_failure(victim_server, now=1.0)
         assert lost
         platform.control(fn.name, rps=800.0, now=2.0)
         assert all(
@@ -111,9 +117,9 @@ class TestRuntimeFaultInjection:
             executor=executor,
             workload={fn.name: constant_trace(400.0, 120.0)},
             warmup_s=20.0,
+            faults=FaultPlan(events=(ServerCrash(at_s=60.0, server_id=0),)),
             seed=16,
         )
-        sim.schedule_server_failure(60.0, server_id=0)
         report = sim.run()
         # The failure costs at most the in-flight batches plus a brief
         # re-provisioning dip, not the service.
@@ -121,9 +127,29 @@ class TestRuntimeFaultInjection:
         assert engine.autoscaler.stats.failures >= 0
         assert not engine.cluster.server(0).healthy
 
+    def test_legacy_schedule_api_warns_but_still_works(
+        self, predictor, executor
+    ):
+        engine = INFlessEngine(build_testbed_cluster(), predictor=predictor)
+        fn = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+        engine.deploy(fn)
+        sim = ServingSimulation(
+            platform=engine,
+            executor=executor,
+            workload={fn.name: constant_trace(100.0, 30.0)},
+            seed=18,
+        )
+        with pytest.warns(DeprecationWarning, match="FaultPlan"):
+            sim.schedule_server_failure(10.0, server_id=0)
+        report = sim.run()
+        assert report.completed > 0
+        assert not engine.cluster.server(0).healthy
+
     def test_unsupported_platform_raises(self, predictor, executor):
         class NoFailover:
             cluster = build_testbed_cluster()
+            ingress_delay_s = 0.0
+            waiting_batches = 2
 
             def function(self, name):
                 return FunctionSpec.for_model("mnist", 0.1, name=name)
@@ -150,6 +176,6 @@ class TestRuntimeFaultInjection:
             workload={"f": constant_trace(1.0, 5.0)},
             seed=17,
         )
-        sim.schedule_server_failure(1.0, server_id=0)
+        sim.faults = FaultPlan(events=(ServerCrash(at_s=1.0, server_id=0),))
         with pytest.raises(RuntimeError, match="cannot handle server failures"):
             sim.run()

@@ -34,7 +34,8 @@ from repro.workloads import constant_trace
 
 
 def make_sim(predictor, executor, *, platform=None, invariants="strict",
-             rps=40.0, duration=10.0, servers=2, slo_s=0.2, seed=11):
+             rps=40.0, duration=10.0, servers=2, slo_s=0.2, seed=11,
+             faults=None, resilience=None):
     cluster = build_testbed_cluster(num_servers=servers)
     if platform is None:
         platform = INFlessEngine(cluster, predictor=predictor)
@@ -45,6 +46,8 @@ def make_sim(predictor, executor, *, platform=None, invariants="strict",
         executor,
         {fn.name: constant_trace(rps, duration)},
         invariants=invariants,
+        faults=faults,
+        resilience=resilience,
         seed=seed,
     )
     return sim, fn
@@ -347,10 +350,31 @@ class TestDifferentialSuite:
         assert report.invariant_violations == []
 
     def test_failure_injection_conserves(self, predictor, executor):
+        from repro.faults import FaultPlan, ServerCrash
+
+        plan = FaultPlan(events=(ServerCrash(at_s=6.0, server_id=0),))
         sim, _fn = make_sim(
-            predictor, executor, rps=120.0, duration=20.0, servers=3
+            predictor, executor, rps=120.0, duration=20.0, servers=3,
+            faults=plan,
         )
-        sim.schedule_server_failure(6.0, server_id=0)
+        report = sim.run()
+        assert report.invariant_violations == []
+        assert sum(report.drop_reasons.values()) == report.dropped
+
+    def test_chaos_with_resilience_conserves(self, predictor, executor):
+        from repro.faults import (
+            FaultPlan, ResiliencePolicy, ServerCrash, ServerRecovery,
+        )
+
+        plan = FaultPlan(events=(
+            ServerCrash(at_s=6.0, server_id=0),
+            ServerCrash(at_s=6.0, server_id=1),
+            ServerRecovery(at_s=12.0, server_id=0),
+        ))
+        sim, _fn = make_sim(
+            predictor, executor, rps=120.0, duration=25.0, servers=3,
+            faults=plan, resilience=ResiliencePolicy(),
+        )
         report = sim.run()
         assert report.invariant_violations == []
         assert sum(report.drop_reasons.values()) == report.dropped
