@@ -12,6 +12,7 @@ either way.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Callable, Dict, Iterable, Optional, Union
 
 from repro.cluster.cluster import Cluster, build_testbed_cluster
@@ -26,6 +27,10 @@ from repro.profiling.predictor import LatencyPredictor, build_default_predictor
 from repro.simulation.metrics import SimulationReport
 from repro.simulation.runtime import ServingSimulation
 from repro.telemetry import InMemoryTracer, TimelineRecorder, Tracer
+from repro.workloads.trace import Trace
+
+#: version tag of the :meth:`Experiment.to_spec` schema.
+SPEC_SCHEMA = 1
 
 #: registry name -> platform class; every entry follows the normalized
 #: ``(cluster, predictor, *, name, seed, ...)`` constructor shape.
@@ -224,3 +229,132 @@ class Experiment:
         """Build if needed, replay the workload, return the report."""
         self.report = self.build().run()
         return self.report
+
+    # ------------------------------------------------------------------
+    # pure-data round-trip (campaign workers, saved experiment configs)
+    # ------------------------------------------------------------------
+    def to_spec(self) -> Dict[str, object]:
+        """The experiment as plain JSON-serialisable data.
+
+        The spec names the platform by its registry entry and carries
+        every serving-relevant setting (functions, workload traces,
+        faults, resilience, invariants mode, runtime knobs) as pure
+        data, so a worker process can rebuild a bit-identical run with
+        :meth:`from_spec`.  Telemetry sinks are *not* part of the spec
+        (they are observers, not serving configuration).
+
+        Raises:
+            ValueError: when the experiment holds live objects a spec
+                cannot represent -- a pre-built platform or factory, an
+                explicit cluster, predictor or executor, or a pre-built
+                invariant checker.
+        """
+        if not isinstance(self._platform_spec, str):
+            raise ValueError(
+                "to_spec requires a registry-name platform; pre-built"
+                " platforms and factories are live objects"
+            )
+        for attr, label in (
+            ("_cluster", "cluster"),
+            ("predictor", "predictor"),
+            ("executor", "executor"),
+        ):
+            if getattr(self, attr) is not None:
+                raise ValueError(
+                    f"to_spec cannot serialize an explicit {label};"
+                    " rely on the defaults (they are deterministic)"
+                )
+        if self.invariants is not None and not isinstance(self.invariants, str):
+            raise ValueError(
+                "to_spec requires the invariants mode as a string"
+            )
+        functions = None
+        if self.functions is not None:
+            functions = []
+            for function in self.functions:
+                from repro.models import get_model
+
+                if get_model(function.model.name) != function.model:
+                    raise ValueError(
+                        f"function {function.name!r} uses a model that is"
+                        " not the zoo's; specs can only name zoo models"
+                    )
+                functions.append({
+                    "model": function.model.name,
+                    "slo_s": function.slo_s,
+                    "name": function.name,
+                })
+        return {
+            "schema": SPEC_SCHEMA,
+            "platform": self._platform_spec,
+            "platform_options": dict(self.platform_options),
+            "servers": self.servers,
+            "functions": functions,
+            "workload": {
+                name: trace.to_dict() for name, trace in self.workload.items()
+            },
+            "faults": self.faults.to_dict() if self.faults else None,
+            "resilience": (
+                asdict(self.resilience) if self.resilience is not None else None
+            ),
+            "invariants": self.invariants,
+            "warmup_s": self.warmup_s,
+            "seed": self.seed,
+            "control_interval_s": self.control_interval_s,
+            "rate_mode": self.rate_mode,
+            "ewma": self.ewma,
+            "pending_cap": self.pending_cap,
+            "cold_queue_batches": self.cold_queue_batches,
+            "chains": dict(self.chains) if self.chains else None,
+            "end_to_end_slo_s": self.end_to_end_slo_s,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "Experiment":
+        """Rebuild an experiment from :meth:`to_spec` output.
+
+        The construction path is pure data in, same objects out: a
+        seeded run built here is bit-identical to the directly-built
+        experiment the spec came from.
+        """
+        from repro.core.function import FunctionSpec
+
+        schema = spec.get("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise ValueError(
+                f"unsupported experiment spec schema {schema!r}"
+                f" (this build reads schema {SPEC_SCHEMA})"
+            )
+        functions = None
+        if spec.get("functions") is not None:
+            functions = [
+                FunctionSpec.for_model(
+                    raw["model"], slo_s=raw["slo_s"], name=raw.get("name", "")
+                )
+                for raw in spec["functions"]
+            ]
+        resilience = spec.get("resilience")
+        if resilience is not None:
+            resilience = ResiliencePolicy(**resilience)
+        return cls(
+            platform=spec["platform"],
+            platform_options=spec.get("platform_options") or None,
+            servers=spec.get("servers", 8),
+            functions=functions,
+            workload={
+                name: Trace.from_dict(raw)
+                for name, raw in spec.get("workload", {}).items()
+            },
+            faults=spec.get("faults"),
+            resilience=resilience,
+            invariants=spec.get("invariants"),
+            warmup_s=spec.get("warmup_s", 0.0),
+            seed=spec.get("seed", 42),
+            control_interval_s=spec.get("control_interval_s", 1.0),
+            rate_mode=spec.get("rate_mode", "measured"),
+            ewma=spec.get("ewma", 0.6),
+            pending_cap=spec.get("pending_cap", 100_000),
+            cold_queue_batches=spec.get("cold_queue_batches", 64),
+            chains=spec.get("chains"),
+            end_to_end_slo_s=spec.get("end_to_end_slo_s"),
+        )

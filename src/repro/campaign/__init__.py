@@ -1,0 +1,74 @@
+"""repro.campaign -- parallel, resumable experiment campaigns.
+
+The subsystem that regenerates the paper's evaluation grids (platform
+x trace x SLO x load x seed) without serial wall-clock or single-seed
+point estimates:
+
+* :mod:`~repro.campaign.spec` -- :class:`CampaignSpec`/:class:`RunSpec`,
+  a JSON-round-trippable grid expanded deterministically, with per-run
+  seeds spawned via ``numpy.random.SeedSequence`` (never ``seed + i``);
+* :mod:`~repro.campaign.runner` -- ``ProcessPoolExecutor`` fan-out with
+  per-run timeouts, bounded retries and a live progress line;
+* :mod:`~repro.campaign.store` -- a content-addressed result store
+  (``runs/<spec-hash>.json``) that makes re-invocation resume exactly
+  where a killed campaign stopped;
+* :mod:`~repro.campaign.aggregate` -- multi-seed mean/std/CI tables
+  (goodput, p50/p99, SLO-violation %, resource-time) as deterministic
+  JSON + tidy CSV.
+
+Drive it with ``python -m repro.cli campaign run|status|report``; see
+``docs/campaigns.md``.
+"""
+
+from repro.campaign.aggregate import (
+    CELL_METRICS,
+    aggregate_results,
+    report_csv,
+    report_rows,
+    summarize,
+)
+from repro.campaign.runner import (
+    CampaignOutcome,
+    RunTimeout,
+    default_progress,
+    execute_run,
+    run_campaign,
+    run_specs_serial,
+)
+from repro.campaign.spec import (
+    AXIS_DEFAULTS,
+    AXIS_ORDER,
+    CAMPAIGN_SCHEMA,
+    TRACE_KINDS,
+    CampaignSpec,
+    RunSpec,
+    build_trace,
+    canonical_json,
+    derive_run_seed_sequence,
+)
+from repro.campaign.store import STORE_SCHEMA, CampaignStore
+
+__all__ = [
+    "CELL_METRICS",
+    "aggregate_results",
+    "report_csv",
+    "report_rows",
+    "summarize",
+    "CampaignOutcome",
+    "RunTimeout",
+    "default_progress",
+    "execute_run",
+    "run_campaign",
+    "run_specs_serial",
+    "AXIS_DEFAULTS",
+    "AXIS_ORDER",
+    "CAMPAIGN_SCHEMA",
+    "TRACE_KINDS",
+    "CampaignSpec",
+    "RunSpec",
+    "build_trace",
+    "canonical_json",
+    "derive_run_seed_sequence",
+    "STORE_SCHEMA",
+    "CampaignStore",
+]

@@ -1,0 +1,154 @@
+"""Multi-seed aggregation of campaign results.
+
+Collapses per-run :class:`~repro.simulation.metrics.SimulationReport`
+payloads into per-cell statistics -- mean/std/95% CI over the
+replicate seeds for the metrics every EXPERIMENTS.md figure table
+reports (goodput, p50/p99 latency, SLO-violation %, normalized
+throughput, resource-time) -- and renders them as a deterministic JSON
+report plus a tidy CSV.
+
+Everything here is order-independent: results are keyed and sorted by
+cell content, so the aggregate of a 4-worker campaign is byte-identical
+to the serial run of the same spec.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.campaign.spec import AXIS_ORDER, canonical_json
+
+#: metric name -> key in the per-run report payload.
+CELL_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("goodput_rps", "goodput_rps"),
+    ("achieved_rps", "achieved_rps"),
+    ("latency_mean_s", "latency_mean_s"),
+    ("latency_p50_s", "latency_p50_s"),
+    ("latency_p99_s", "latency_p99_s"),
+    ("violation_rate", "violation_rate"),
+    ("drop_rate", "drop_rate"),
+    ("normalized_throughput", "normalized_throughput"),
+    ("resource_time_weighted", "resource_time_weighted"),
+    ("completed", "completed"),
+)
+
+#: aggregate-report schema version.
+REPORT_SCHEMA = 1
+
+
+def summarize(values: Sequence[float]) -> Dict[str, object]:
+    """mean/std/95% CI/min/max over one cell's replicate values.
+
+    The sample std uses ``ddof=1`` (reporting variance *between* seeds
+    is the point of multi-seed campaigns); a single replicate reports
+    std and CI of 0.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot summarize an empty replicate set")
+    mean = math.fsum(values) / n
+    if n > 1:
+        variance = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return {
+        "n": n,
+        "mean": mean,
+        "std": std,
+        "ci95": 1.96 * std / math.sqrt(n) if n > 1 else 0.0,
+        "min": min(values),
+        "max": max(values),
+        "values": list(values),
+    }
+
+
+def aggregate_results(
+    results: Sequence[Dict[str, object]], campaign: str = ""
+) -> Dict[str, object]:
+    """Group per-run payloads by cell and summarize over replicates.
+
+    Args:
+        results: stored run payloads (each carries ``cell``,
+            ``replicate``, ``seed`` and the run's ``report`` dict).
+        campaign: campaign name recorded in the report header.
+
+    Returns:
+        The ``report.json`` payload: one entry per cell, sorted by
+        cell content, each metric summarized over its replicates
+        (replicate-sorted, so worker completion order cannot leak in).
+    """
+    by_cell: Dict[str, List[Dict[str, object]]] = {}
+    cells: Dict[str, Dict[str, object]] = {}
+    for payload in results:
+        key = canonical_json(payload["cell"])
+        cells[key] = payload["cell"]
+        by_cell.setdefault(key, []).append(payload)
+    entries = []
+    for key in sorted(by_cell):
+        runs = sorted(by_cell[key], key=lambda p: p["replicate"])
+        metrics = {}
+        for metric, report_key in CELL_METRICS:
+            metrics[metric] = summarize([
+                float(run["report"][report_key]) for run in runs
+            ])
+        entries.append({
+            "cell": cells[key],
+            "replicates": [run["replicate"] for run in runs],
+            "seeds": [run["seed"] for run in runs],
+            "metrics": metrics,
+        })
+    return {
+        "schema": REPORT_SCHEMA,
+        "campaign": campaign,
+        "cells": entries,
+    }
+
+
+def report_csv(report: Dict[str, object]) -> str:
+    """The aggregate as a tidy CSV: one row per (cell, metric)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([
+        *AXIS_ORDER, "metric", "n", "mean", "std", "ci95", "min", "max",
+    ])
+    for entry in report["cells"]:
+        cell = entry["cell"]
+        axis_values = [cell.get(axis, "") for axis in AXIS_ORDER]
+        for metric, _key in CELL_METRICS:
+            stats = entry["metrics"][metric]
+            writer.writerow([
+                *axis_values, metric, stats["n"], repr(stats["mean"]),
+                repr(stats["std"]), repr(stats["ci95"]),
+                repr(stats["min"]), repr(stats["max"]),
+            ])
+    return buffer.getvalue()
+
+
+def report_rows(
+    report: Dict[str, object],
+    metrics: Sequence[str] = ("goodput_rps", "latency_p99_s", "violation_rate"),
+) -> Tuple[List[str], List[List[str]]]:
+    """(header, rows) of the human-facing summary table."""
+    varying = [
+        axis for axis in AXIS_ORDER
+        if len({
+            canonical_json(entry["cell"].get(axis))
+            for entry in report["cells"]
+        }) > 1
+    ] or ["platform"]
+    header = [*varying, "seeds"]
+    for metric in metrics:
+        header.append(f"{metric} (mean +/- std)")
+    rows = []
+    for entry in report["cells"]:
+        row = [str(entry["cell"].get(axis)) for axis in varying]
+        row.append(str(entry["metrics"][metrics[0]]["n"]))
+        for metric in metrics:
+            stats = entry["metrics"][metric]
+            row.append(f"{stats['mean']:.4g} +/- {stats['std']:.2g}")
+        rows.append(row)
+    return header, rows

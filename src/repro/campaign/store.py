@@ -1,0 +1,131 @@
+"""Content-addressed on-disk campaign results.
+
+Layout of one campaign directory::
+
+    <campaign-dir>/
+      spec.json          # the expanded-from CampaignSpec, for humans
+      manifest.json      # last invocation's summary (counts, timing)
+      report.json        # multi-seed aggregate (byte-deterministic)
+      report.csv         # the same aggregate as a tidy table
+      runs/<hash>.json   # one completed run per spec-hash
+
+Run files are addressed by :meth:`repro.campaign.spec.RunSpec.spec_hash`
+-- a digest of the cell, replicate, derived seed and the full
+experiment payload.  Re-invoking a campaign therefore skips every run
+whose hash already has a file (crash resume), and editing a spec
+re-runs exactly the cells whose content changed.  Only *successful*
+runs are stored; failures are recorded in the manifest so the next
+invocation retries them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: version tag of the run-file / manifest layout.
+STORE_SCHEMA = 1
+
+
+class CampaignStore:
+    """The on-disk result store of one campaign directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+
+    # ------------------------------------------------------------------
+    # run results
+    # ------------------------------------------------------------------
+    def _run_path(self, spec_hash: str) -> Path:
+        return self.runs_dir / f"{spec_hash}.json"
+
+    def has(self, spec_hash: str) -> bool:
+        """Whether a completed result exists for this spec-hash."""
+        return self._run_path(spec_hash).is_file()
+
+    def load(self, spec_hash: str) -> Optional[Dict[str, object]]:
+        """The stored result payload, or None when absent."""
+        path = self._run_path(spec_hash)
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def save(self, spec_hash: str, payload: Dict[str, object]) -> Path:
+        """Atomically persist one completed run.
+
+        Write-to-temp + rename keeps a killed campaign from leaving a
+        truncated result behind: a hash either has a complete file or
+        no file, which is what makes resume sound.
+        """
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        path = self._run_path(spec_hash)
+        handle, tmp = tempfile.mkstemp(
+            dir=self.runs_dir, prefix=f".{spec_hash}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def completed_hashes(self) -> List[str]:
+        """Spec-hashes with a stored result, sorted."""
+        if not self.runs_dir.is_dir():
+            return []
+        return sorted(
+            path.stem for path in self.runs_dir.glob("*.json")
+        )
+
+    def results(self) -> List[Tuple[str, Dict[str, object]]]:
+        """All stored (spec_hash, payload) pairs, hash-sorted.
+
+        Hash order makes every consumer order-independent of worker
+        completion order -- the root of the parallel == serial
+        byte-identical report guarantee.
+        """
+        return [
+            (spec_hash, self.load(spec_hash))
+            for spec_hash in self.completed_hashes()
+        ]
+
+    # ------------------------------------------------------------------
+    # campaign-level files
+    # ------------------------------------------------------------------
+    def write_json(self, name: str, payload: Dict[str, object]) -> Path:
+        """Write a top-level campaign file (manifest/spec/report)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / name
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def read_json(self, name: str) -> Optional[Dict[str, object]]:
+        """Read a top-level campaign file, or None when absent."""
+        path = self.root / name
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def write_manifest(self, manifest: Dict[str, object]) -> Path:
+        return self.write_json("manifest.json", manifest)
+
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        return self.read_json("manifest.json")
+
+    def write_text(self, name: str, text: str) -> Path:
+        """Write a top-level non-JSON campaign file (the CSV report)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / name
+        path.write_text(text, encoding="utf-8")
+        return path

@@ -9,9 +9,13 @@ Usage::
         --trace-out run.jsonl --timeline-out run.csv --output json
     python -m repro.cli simulate --faults examples/chaos_plan.json \\
         --check-invariants
+    python -m repro.cli simulate --model resnet-50 --seeds 1,2,3
     python -m repro.cli trace-summary run.jsonl
     python -m repro.cli coldstart --days 2
     python -m repro.cli bench --quick event_queue fig18_largescale
+    python -m repro.cli campaign run examples/campaigns/fig12_sweep.json \\
+        --workers 4
+    python -m repro.cli campaign report campaigns/fig12_sweep
 
 Every subcommand prints a small table (or JSON with ``--output
 json``); the heavier experiment harness lives under ``benchmarks/``.
@@ -119,6 +123,79 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seed_list(raw: str) -> List[int]:
+    try:
+        seeds = [int(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"--seeds wants comma-separated ints, got {raw!r}")
+    if not seeds:
+        raise SystemExit("--seeds wants at least one seed")
+    return seeds
+
+
+def _cmd_simulate_seeds(args: argparse.Namespace, faults, resilience) -> int:
+    """One configuration across a seed list: mean +/- std, not a point."""
+    from repro.campaign import RunSpec, run_specs_serial, summarize
+
+    if args.trace_out or args.chrome_trace_out or args.timeline_out:
+        print("--seeds does not combine with trace/timeline export",
+              file=sys.stderr)
+        return 1
+    seeds = _parse_seed_list(args.seeds)
+    function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
+    runs = []
+    for seed in seeds:
+        experiment = Experiment(
+            platform=args.platform,
+            servers=args.servers,
+            functions=[function],
+            workload={function.name: constant_trace(args.rps, args.duration)},
+            warmup_s=min(20.0, args.duration / 4),
+            invariants=args.check_invariants,
+            faults=faults,
+            resilience=resilience,
+            seed=seed,
+        )
+        runs.append(RunSpec(
+            campaign="simulate-seeds",
+            cell={"platform": args.platform, "model": args.model},
+            replicate=seed,
+            seed=seed,
+            experiment=experiment.to_spec(),
+        ))
+    # The campaign runner's single-process path: serial, same executor
+    # the parallel workers use.
+    results = run_specs_serial(runs, timeout_s=None)
+    metrics = {
+        "goodput (rps)": [r["report"]["goodput_rps"] for r in results],
+        "p99 latency (ms)": [
+            r["report"]["latency_p99_s"] * 1e3 for r in results
+        ],
+        "SLO violations (%)": [
+            r["report"]["violation_rate"] * 1e2 for r in results
+        ],
+    }
+    if args.output == "json":
+        payload = {
+            "seeds": seeds,
+            "metrics": {
+                name: summarize(values) for name, values in metrics.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for name, values in metrics.items():
+        stats = summarize(values)
+        rows.append([
+            name, f"{stats['mean']:.3f}", f"{stats['std']:.3f}",
+            f"{stats['min']:.3f}", f"{stats['max']:.3f}",
+        ])
+    print(f"{len(seeds)} seeds: {', '.join(str(s) for s in seeds)}")
+    print(format_table(["metric", "mean", "std", "min", "max"], rows))
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     # Fail on unwritable export paths before spending time simulating.
     for path in (args.trace_out, args.chrome_trace_out, args.timeline_out):
@@ -136,6 +213,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     resilience = None
     if faults is not None and not args.no_resilience:
         resilience = ResiliencePolicy(max_retries=args.max_retries)
+    if args.seeds:
+        return _cmd_simulate_seeds(args, faults, resilience)
     function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
     experiment = Experiment(
         platform=args.platform,
@@ -314,6 +393,113 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_dir(args: argparse.Namespace, spec_name: str) -> str:
+    if args.dir:
+        return args.dir
+    return os.path.join("campaigns", spec_name)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, default_progress, run_campaign
+
+    try:
+        spec = CampaignSpec.from_json(args.spec)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load campaign spec {args.spec}: {exc}", file=sys.stderr)
+        return 1
+    campaign_dir = _campaign_dir(args, spec.name)
+    outcome = run_campaign(
+        spec,
+        campaign_dir,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        max_retries=args.retries,
+        progress=None if args.quiet else default_progress(),
+    )
+    manifest = outcome.manifest
+    print(format_table(["metric", "value"], [
+        ["campaign", spec.name],
+        ["directory", campaign_dir],
+        ["total runs", outcome.total],
+        ["executed", outcome.executed],
+        ["skipped (cached)", outcome.skipped],
+        ["failed", len(outcome.failed)],
+        ["workers", manifest["workers"]],
+        ["wall clock", f"{outcome.wall_s:.1f} s"],
+        ["sum of run wall times", f"{outcome.run_wall_s_total:.1f} s"],
+        ["speedup vs serial", f"{manifest['speedup_vs_serial']:.2f}x"],
+    ]))
+    for failure in outcome.failed:
+        print(
+            f"FAILED {failure['spec_hash']} after {failure['attempts']}"
+            f" attempt(s): {failure['error']}",
+            file=sys.stderr,
+        )
+    return 0 if outcome.ok else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, CampaignStore
+
+    store = CampaignStore(args.dir)
+    spec_payload = store.read_json("spec.json")
+    if spec_payload is None:
+        print(f"{args.dir} is not a campaign directory (no spec.json)",
+              file=sys.stderr)
+        return 1
+    spec = CampaignSpec.from_dict(spec_payload)
+    hashes = [run.spec_hash() for run in spec.expand()]
+    done = set(store.completed_hashes())
+    manifest = store.read_manifest() or {}
+    failed = manifest.get("failed", [])
+    rows = [
+        ["campaign", spec.name],
+        ["total runs", len(hashes)],
+        ["completed", sum(1 for h in hashes if h in done)],
+        ["remaining", sum(1 for h in hashes if h not in done)],
+        ["failed (last invocation)", len(failed)],
+        ["stale results", len(done - set(hashes))],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignStore,
+        aggregate_results,
+        report_csv,
+        report_rows,
+    )
+
+    store = CampaignStore(args.dir)
+    results = [payload for _hash, payload in store.results()]
+    if not results:
+        print(f"no completed runs under {args.dir}", file=sys.stderr)
+        return 1
+    spec_payload = store.read_json("spec.json") or {}
+    report = aggregate_results(results, campaign=spec_payload.get("name", ""))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(report_csv(report))
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.output == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    header, rows = report_rows(report)
+    print(format_table(header, rows))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_campaign_run,
+        "status": _cmd_campaign_status,
+        "report": _cmd_campaign_report,
+    }
+    return handlers[args.campaign_command](args)
+
+
 def _cmd_coldstart(args: argparse.Namespace) -> int:
     fleet = coldstart_fleet_invocations(duration_s=args.days * 86400.0)
     policies = [
@@ -360,6 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--slo-ms", type=float, default=200.0)
     simulate.add_argument("--servers", type=int, default=8)
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--seeds", metavar="S1,S2,...", default=None,
+        help="run the same configuration once per seed (serially, via"
+             " the campaign runner) and print mean +/- std of goodput,"
+             " p99 latency and SLO-violation rate",
+    )
     simulate.add_argument(
         "--faults", metavar="PATH", default=None,
         help="inject the FaultPlan JSON at PATH (see docs/faults.md);"
@@ -434,6 +626,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="free-form label recorded with the store entry",
     )
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="parallel, resumable experiment grids (repro.campaign)",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run (or resume) a campaign grid",
+    )
+    campaign_run.add_argument("spec", help="CampaignSpec JSON path")
+    campaign_run.add_argument(
+        "--dir", default=None,
+        help="campaign store directory (default: campaigns/<name>)",
+    )
+    campaign_run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: all cores; 1 = in-process)",
+    )
+    campaign_run.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run hard timeout in seconds",
+    )
+    campaign_run.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for a run that raised or timed out",
+    )
+    campaign_run.add_argument(
+        "--quiet", action="store_true", help="suppress the progress line",
+    )
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="done/remaining/failed counts of a campaign dir",
+    )
+    campaign_status.add_argument("dir", help="campaign store directory")
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="multi-seed aggregate tables from a campaign dir",
+    )
+    campaign_report.add_argument("dir", help="campaign store directory")
+    campaign_report.add_argument(
+        "--output", choices=("table", "json"), default="table"
+    )
+    campaign_report.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the tidy CSV table here",
+    )
+
     coldstart = sub.add_parser("coldstart", help="keep-alive policy study")
     coldstart.add_argument("--days", type=float, default=2.0)
     coldstart.add_argument("--gamma", type=float, default=0.5)
@@ -454,6 +695,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "trace-summary": _cmd_trace_summary,
     "bench": _cmd_bench,
+    "campaign": _cmd_campaign,
     "coldstart": _cmd_coldstart,
     "plan": _cmd_plan,
 }

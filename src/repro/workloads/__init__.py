@@ -20,9 +20,19 @@ from repro.workloads.arrivals import sample_arrivals, merge_arrival_streams
 from repro.workloads.apps import Application, build_osvt, build_qa_robot
 from repro.workloads.coldstart_fleet import coldstart_fleet_invocations
 from repro.workloads.azure import aggregate, load_azure_csv, parse_rows, write_azure_csv
+from repro.workloads.seeding import (
+    SeedLike,
+    as_seed_sequence,
+    derive_streams,
+    spawn_seed_ints,
+)
 
 __all__ = [
     "Trace",
+    "SeedLike",
+    "as_seed_sequence",
+    "derive_streams",
+    "spawn_seed_ints",
     "constant_trace",
     "periodic_trace",
     "bursty_trace",

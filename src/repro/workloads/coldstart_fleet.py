@@ -30,20 +30,36 @@ from repro.workloads.generators import (
     sporadic_trace,
     timer_invocations,
 )
+from repro.workloads.seeding import SeedLike, derive_streams
 
 #: replay horizon: three days, as in the paper's Fig. 9 trace.
 FLEET_DURATION_S = 3 * 86400.0
 
 
 def coldstart_fleet_invocations(
-    seed: int = 0,
+    seed: SeedLike = 0,
     num_diurnal: int = 10,
     num_sporadic: int = 2,
     num_bursty: int = 2,
     num_timer: int = 8,
     duration_s: float = FLEET_DURATION_S,
 ) -> Dict[str, Sequence[float]]:
-    """Per-function invocation times for the cold-start study."""
+    """Per-function invocation times for the cold-start study.
+
+    ``seed`` accepts a legacy int (historical per-member ``seed +
+    offset`` streams, bit-identical) or a ``SeedSequence`` whose
+    spawned children give every fleet member a decorrelated stream.
+    """
+    # One stream per fleet member plus the shared arrival sampler, in a
+    # fixed order; the int offsets are the historical derivations.
+    offsets = (
+        *(10 + i for i in range(num_diurnal)),
+        *(20 + i for i in range(num_sporadic)),
+        *(30 + i for i in range(num_bursty)),
+        3,
+        *(40 + i for i in range(num_timer)),
+    )
+    streams = iter(derive_streams(seed, offsets))
     traces = {}
     for i in range(num_diurnal):
         traces[f"diurnal{i}"] = periodic_trace(
@@ -51,7 +67,7 @@ def coldstart_fleet_invocations(
             duration_s=duration_s,
             step_s=30.0,
             relative_amplitude=0.99,
-            seed=seed + 10 + i,
+            seed=next(streams),
         )
     for i in range(num_sporadic):
         traces[f"sporadic{i}"] = sporadic_trace(
@@ -60,7 +76,7 @@ def coldstart_fleet_invocations(
             step_s=30.0,
             active_fraction=0.05,
             spike_duration_s=240.0,
-            seed=seed + 20 + i,
+            seed=next(streams),
         )
     for i in range(num_bursty):
         traces[f"bursty{i}"] = bursty_trace(
@@ -69,9 +85,9 @@ def coldstart_fleet_invocations(
             step_s=30.0,
             burst_rate_per_hour=2.0,
             burst_duration_s=1200.0,
-            seed=seed + 30 + i,
+            seed=next(streams),
         )
-    rng = np.random.default_rng(seed + 3)
+    rng = np.random.default_rng(next(streams))
     invocations: Dict[str, Sequence[float]] = {
         name: sample_arrivals(trace, rng) for name, trace in traces.items()
     }
@@ -83,6 +99,6 @@ def coldstart_fleet_invocations(
             spike_every_s=12000.0,
             spike_rate=0.1,
             spike_len_s=240.0,
-            seed=seed + 40 + i,
+            seed=next(streams),
         )
     return invocations

@@ -12,7 +12,10 @@ depend on:
 * **sporadic** -- long idle gaps with isolated spikes: the cold-start
   stress pattern.
 
-All generators are deterministic given a seed.
+All generators are deterministic given a seed.  Every ``seed``
+parameter accepts a plain int (the legacy streams, kept bit-identical)
+or a ``numpy.random.SeedSequence`` whose spawned children supply
+decorrelated internal streams -- see :mod:`repro.workloads.seeding`.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.workloads.seeding import SeedLike, derive_streams
 from repro.workloads.trace import Trace
 
 DAY_S = 24 * 3600.0
@@ -41,10 +45,10 @@ def periodic_trace(
     period_s: float = DAY_S,
     relative_amplitude: float = 0.6,
     noise: float = 0.05,
-    seed: int = 1,
+    seed: SeedLike = 1,
 ) -> Trace:
     """Diurnal sinusoid: the LTP-only pattern."""
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(derive_streams(seed, (0,))[0])
     t = np.arange(0.0, duration_s, step_s)
     base = 1.0 + relative_amplitude * np.sin(2.0 * np.pi * t / period_s)
     jitter = rng.normal(1.0, noise, size=t.size)
@@ -61,7 +65,7 @@ def bursty_trace(
     burst_magnitude: float = 4.0,
     burst_duration_s: float = 120.0,
     dip_fraction: float = 0.3,
-    seed: int = 2,
+    seed: SeedLike = 2,
 ) -> Trace:
     """Diurnal base plus short bursts and dips: LTP + STB.
 
@@ -69,11 +73,12 @@ def bursty_trace(
     ``burst_duration_s``; a ``dip_fraction`` of the events are sudden
     decreases instead (the paper notes both kinds of sudden change).
     """
+    base_stream, burst_stream = derive_streams(seed, (0, 1000))
     base = periodic_trace(
         mean_rps, duration_s, step_s, period_s, relative_amplitude=0.4,
-        noise=0.05, seed=seed,
+        noise=0.05, seed=base_stream,
     )
-    rng = np.random.default_rng(seed + 1000)
+    rng = np.random.default_rng(burst_stream)
     rps = base.rps.copy()
     cells = rps.size
     expected_events = burst_rate_per_hour * duration_s / 3600.0
@@ -98,7 +103,7 @@ def sporadic_trace(
     step_s: float = 1.0,
     active_fraction: float = 0.12,
     spike_duration_s: float = 180.0,
-    seed: int = 3,
+    seed: SeedLike = 3,
 ) -> Trace:
     """Long idle gaps with isolated activity spikes (cold-start heavy).
 
@@ -109,7 +114,7 @@ def sporadic_trace(
     """
     if not 0.0 < active_fraction <= 1.0:
         raise ValueError("active_fraction must lie in (0, 1]")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(derive_streams(seed, (0,))[0])
     cells = max(1, int(round(duration_s / step_s)))
     rps = np.zeros(cells)
     spike_cells = max(1, int(spike_duration_s / step_s))
@@ -133,7 +138,7 @@ def timer_invocations(
     spike_every_s: Optional[float] = None,
     spike_rate: float = 0.08,
     spike_len_s: float = 300.0,
-    seed: int = 4,
+    seed: SeedLike = 4,
 ) -> "np.ndarray":
     """Timer-triggered invocation times with optional burst pollution.
 
@@ -150,7 +155,7 @@ def timer_invocations(
     """
     if period_s <= 0:
         raise ValueError("period must be positive")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(derive_streams(seed, (0,))[0])
     times = []
     t = rng.uniform(0, period_s)
     while t < duration_s:
@@ -170,11 +175,12 @@ def production_traces(
     mean_rps: float,
     duration_s: float = DAY_S,
     step_s: float = 1.0,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> Dict[str, Trace]:
     """The three Fig. 10 trace types, sharing a mean rate."""
+    sporadic_s, periodic_s, bursty_s = derive_streams(seed, (3, 1, 2))
     return {
-        "sporadic": sporadic_trace(mean_rps, duration_s, step_s, seed=seed + 3),
-        "periodic": periodic_trace(mean_rps, duration_s, step_s, seed=seed + 1),
-        "bursty": bursty_trace(mean_rps, duration_s, step_s, seed=seed + 2),
+        "sporadic": sporadic_trace(mean_rps, duration_s, step_s, seed=sporadic_s),
+        "periodic": periodic_trace(mean_rps, duration_s, step_s, seed=periodic_s),
+        "bursty": bursty_trace(mean_rps, duration_s, step_s, seed=bursty_s),
     }

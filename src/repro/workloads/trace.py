@@ -8,6 +8,7 @@ the arrival sampler and the auto-scaler's rate monitor.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
@@ -83,3 +84,21 @@ class Trace:
         lo = int(start_s / self.step_s)
         hi = int(np.ceil(end_s / self.step_s))
         return Trace(name=self.name, step_s=self.step_s, rps=self.rps[lo:hi])
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable view; exact (doubles survive JSON)."""
+        return {
+            "name": self.name,
+            "step_s": float(self.step_s),
+            "rps": [float(value) for value in self.rps],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Trace":
+        """Rebuild a trace from :meth:`to_dict` output, bit-for-bit."""
+        return cls(
+            name=str(payload["name"]),
+            step_s=float(payload["step_s"]),
+            rps=np.asarray(payload["rps"], dtype=float),
+        )

@@ -212,3 +212,57 @@ class TestDeprecationShims:
         # serving outcome itself is identical.
         plan.pop("resilience")
         assert legacy == plan
+
+
+class TestExperimentSpec:
+    """to_spec/from_spec: the pure-data round-trip campaigns rely on."""
+
+    @staticmethod
+    def _experiment(**overrides):
+        payload = dict(
+            platform="infless",
+            servers=2,
+            functions=[FunctionSpec.for_model("mobilenet", slo_s=0.15)],
+            workload={"fn-mobilenet": constant_trace(30.0, 8.0)},
+            warmup_s=2.0,
+            seed=11,
+        )
+        payload.update(overrides)
+        return Experiment(**payload)
+
+    def test_spec_round_trips_through_json(self):
+        spec = self._experiment().to_spec()
+        wire = json.loads(json.dumps(spec, sort_keys=True))
+        assert Experiment.from_spec(wire).to_spec() == spec
+
+    def test_spec_run_is_bit_identical(self):
+        direct = self._experiment().run()
+        respawned = Experiment.from_spec(self._experiment().to_spec()).run()
+        assert _report_dict(direct) == _report_dict(respawned)
+
+    def test_spec_carries_faults_and_resilience(self):
+        experiment = self._experiment(
+            faults=FaultPlan(events=(ServerCrash(at_s=4.0, server_id=0),)),
+            resilience=True,
+        )
+        spec = experiment.to_spec()
+        assert spec["faults"]["events"][0]["kind"] == "server_crash"
+        assert spec["resilience"]["max_retries"] == 2
+        rebuilt = Experiment.from_spec(spec)
+        assert rebuilt.faults.events[0].at_s == 4.0
+        assert rebuilt.to_spec() == spec
+
+    def test_spec_rejects_live_objects(self, predictor, executor):
+        prebuilt = OpenFaaSPlus(build_testbed_cluster(num_servers=2), predictor)
+        with pytest.raises(ValueError, match="registry-name"):
+            Experiment(platform=prebuilt, workload={}).to_spec()
+        with pytest.raises(ValueError, match="predictor"):
+            self._experiment(predictor=predictor).to_spec()
+        with pytest.raises(ValueError, match="executor"):
+            self._experiment(executor=executor).to_spec()
+
+    def test_spec_rejects_unknown_schema(self):
+        spec = self._experiment().to_spec()
+        spec["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            Experiment.from_spec(spec)
