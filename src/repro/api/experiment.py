@@ -20,8 +20,11 @@ from repro.core.engine import INFlessEngine
 from repro.core.function import FunctionSpec
 from repro.baselines.batch_otp import BatchOTP
 from repro.baselines.batch_rs import BatchRS
+from repro.baselines.llm_fcfs import LLMFCFSBaseline
 from repro.baselines.openfaas import OpenFaaSPlus
 from repro.faults import FaultPlan, ResiliencePolicy
+from repro.llm.engine import ContinuousBatchingLLM, StaticBatchLLM
+from repro.llm.simulation import LLMSimulation
 from repro.profiling.executor import GroundTruthExecutor
 from repro.profiling.predictor import LatencyPredictor, build_default_predictor
 from repro.simulation.metrics import SimulationReport
@@ -39,6 +42,11 @@ PLATFORMS: Dict[str, type] = {
     "openfaas+": OpenFaaSPlus,
     "batch": BatchOTP,
     "batch+rs": BatchRS,
+    # Autoregressive (LLM) serving -- these run under LLMSimulation,
+    # selected automatically by the platform's workload_class.
+    "llm": ContinuousBatchingLLM,
+    "llm-static": StaticBatchLLM,
+    "llm-fcfs": LLMFCFSBaseline,
 }
 
 
@@ -81,8 +89,10 @@ class Experiment:
 
     Args:
         platform: a registry name (``"infless"``, ``"openfaas+"``,
-            ``"batch"``, ``"batch+rs"``), a pre-built platform object,
-            or a ``cluster -> platform`` factory callable.
+            ``"batch"``, ``"batch+rs"``, or the autoregressive
+            ``"llm"``, ``"llm-static"``, ``"llm-fcfs"``), a pre-built
+            platform object, or a ``cluster -> platform`` factory
+            callable.
         workload: function name -> arrival trace.
         functions: specs to deploy before the run; omit when the
             platform object already has its functions deployed.
@@ -170,7 +180,7 @@ class Experiment:
         self.chains = chains
         self.end_to_end_slo_s = end_to_end_slo_s
         self.platform = None
-        self.simulation: Optional[ServingSimulation] = None
+        self.simulation: Union[None, ServingSimulation, LLMSimulation] = None
         self.report: Optional[SimulationReport] = None
 
     # ------------------------------------------------------------------
@@ -196,14 +206,39 @@ class Experiment:
             )
         return spec
 
-    def build(self) -> ServingSimulation:
-        """Assemble (once) and return the underlying simulation."""
+    def build(self) -> Union[ServingSimulation, LLMSimulation]:
+        """Assemble (once) and return the underlying simulation.
+
+        Autoregressive platforms (``workload_class ==
+        "autoregressive"``) get the token-boundary
+        :class:`~repro.llm.simulation.LLMSimulation`; everything else
+        gets the single-shot :class:`ServingSimulation`.
+        """
         if self.simulation is not None:
             return self.simulation
         self.platform = self._resolve_platform()
         if self.functions is not None:
             for function in self.functions:
                 self.platform.deploy(function)
+        if getattr(self.platform, "workload_class", "") == "autoregressive":
+            if self.chains:
+                raise ValueError(
+                    "function chains are not supported on autoregressive"
+                    " platforms"
+                )
+            self.simulation = LLMSimulation(
+                platform=self.platform,
+                workload=self.workload,
+                control_interval_s=self.control_interval_s,
+                warmup_s=self.warmup_s,
+                tracer=self.tracer,
+                timeline=self.timeline,
+                invariants=self.invariants,
+                faults=self.faults,
+                resilience=self.resilience,
+                seed=self.seed,
+            )
+            return self.simulation
         self.simulation = ServingSimulation(
             platform=self.platform,
             executor=self.executor or GroundTruthExecutor(),
@@ -272,9 +307,9 @@ class Experiment:
         if self.functions is not None:
             functions = []
             for function in self.functions:
-                from repro.models import get_model
+                from repro.models import resolve_model
 
-                if get_model(function.model.name) != function.model:
+                if resolve_model(function.model.name) != function.model:
                     raise ValueError(
                         f"function {function.name!r} uses a model that is"
                         " not the zoo's; specs can only name zoo models"

@@ -9,6 +9,8 @@
   resource-aware scheduler (the Fig. 17(b) ablation).
 * ``LambdaLike`` -- an AWS-Lambda model with the proportional
   CPU-memory allocation policy, for the section 2 motivation study.
+* ``LLMFCFSBaseline`` -- continuous batching with FCFS admission (no
+  SLO shedding), the comparison point for the ``repro.llm`` scenario.
 """
 
 from repro.baselines.common import UniformScalingPlatform
@@ -19,6 +21,7 @@ from repro.baselines.lambda_like import (
     LambdaLike,
     LAMBDA_MEMORY_SIZES_MB,
 )
+from repro.baselines.llm_fcfs import LLMFCFSBaseline
 
 __all__ = [
     "UniformScalingPlatform",
@@ -27,4 +30,5 @@ __all__ = [
     "BatchRS",
     "LambdaLike",
     "LAMBDA_MEMORY_SIZES_MB",
+    "LLMFCFSBaseline",
 ]

@@ -1,0 +1,23 @@
+"""FCFS continuous batching: the no-admission-control baseline.
+
+The same iteration-level engine as
+:class:`~repro.llm.engine.ContinuousBatchingLLM` but with pure
+first-come-first-served admission: every arrival queues (up to the
+gateway cap) regardless of its TTFT prospects, so under overload the
+queue grows and TTFT attainment collapses instead of load being shed
+at the door.  The comparison isolates what SLO-aware admission
+contributes on top of continuous batching itself.
+"""
+
+from __future__ import annotations
+
+from repro.llm.engine import ContinuousBatchingLLM
+
+
+class LLMFCFSBaseline(ContinuousBatchingLLM):
+    """Continuous batching with FCFS admission (no SLO shedding)."""
+
+    def __init__(self, cluster, predictor=None, **options) -> None:
+        options.setdefault("name", "llm-fcfs")
+        options["admission"] = "fcfs"
+        super().__init__(cluster, predictor, **options)

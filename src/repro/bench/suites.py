@@ -113,6 +113,33 @@ def bench_batch_queue(quick: bool = False) -> int:
     return ops
 
 
+def bench_llm_decode(quick: bool = False) -> int:
+    """Continuous-batching decode churn: the ``repro.llm`` hot path.
+
+    Replays a steady autoregressive workload against one worker so the
+    engine spends nearly all its time in the per-iteration decode loop
+    (KV acquire per token, step planning, completion bookkeeping);
+    returns the discrete events processed.
+    """
+    from repro.api import Experiment
+    from repro.core import FunctionSpec
+    from repro.workloads import constant_trace
+
+    duration_s = 30.0 if quick else 120.0
+    function = FunctionSpec.for_model("llm-125m", slo_s=0.5)
+    experiment = Experiment(
+        platform="llm",
+        servers=1,
+        functions=[function],
+        workload={function.name: constant_trace(20.0, duration_s)},
+        platform_options={"tpot_slo_s": 0.1},
+        invariants="off",
+        seed=13,
+    )
+    experiment.run()
+    return experiment.simulation.loop.processed
+
+
 def bench_invariant_tick(quick: bool = False) -> int:
     """Cost of one conservation-audit control tick, repeated.
 
@@ -229,6 +256,7 @@ MICRO_BENCHMARKS: Dict[str, Callable[[bool], int]] = {
     "event_queue": bench_event_queue,
     "scheduler_search": bench_scheduler_search,
     "batch_queue": bench_batch_queue,
+    "llm_decode": bench_llm_decode,
     "invariant_tick": bench_invariant_tick,
 }
 

@@ -42,7 +42,7 @@ from repro.core import (
     LongShortTermHistogram,
 )
 from repro.faults import FaultPlan, ResiliencePolicy
-from repro.models import list_models
+from repro.models import list_llm_models, list_models
 from repro.profiling import GroundTruthExecutor, build_default_predictor
 from repro.simulation import compare_policies
 from repro.telemetry import (
@@ -72,7 +72,24 @@ def _cmd_list_models(_args: argparse.Namespace) -> int:
         ["model", "params", "GFLOPs", "cold start", "max batch", "description"],
         rows,
     ))
+    llm_rows = [
+        [m.name, f"{m.params_millions:g}M", f"{m.weights_mb:,.0f} MB",
+         f"{m.kv_mb_per_token:g}", m.max_batch_tokens, m.description]
+        for m in list_llm_models()
+    ]
+    print()
+    print(format_table(
+        ["LLM model", "params", "weights", "KV MB/token", "token budget",
+         "description"],
+        llm_rows,
+    ))
     return 0
+
+
+def _is_llm_platform(name: str) -> bool:
+    """Whether a registry platform serves autoregressive workloads."""
+    cls = PLATFORMS.get(name)
+    return getattr(cls, "workload_class", "") == "autoregressive"
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -143,6 +160,7 @@ def _cmd_simulate_seeds(args: argparse.Namespace, faults, resilience) -> int:
         return 1
     seeds = _parse_seed_list(args.seeds)
     function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
+    options = _platform_options(args)
     runs = []
     for seed in seeds:
         experiment = Experiment(
@@ -150,6 +168,7 @@ def _cmd_simulate_seeds(args: argparse.Namespace, faults, resilience) -> int:
             servers=args.servers,
             functions=[function],
             workload={function.name: constant_trace(args.rps, args.duration)},
+            platform_options=options,
             warmup_s=min(20.0, args.duration / 4),
             invariants=args.check_invariants,
             faults=faults,
@@ -196,6 +215,18 @@ def _cmd_simulate_seeds(args: argparse.Namespace, faults, resilience) -> int:
     return 0
 
 
+def _platform_options(args: argparse.Namespace) -> Optional[dict]:
+    """Registry-platform options the simulate flags imply."""
+    if not _is_llm_platform(args.platform):
+        return None
+    options = {"tpot_slo_s": args.tpot_slo_ms / 1e3}
+    if args.preemption:
+        options["preemption"] = args.preemption
+    if args.victims:
+        options["victims"] = args.victims
+    return options
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     # Fail on unwritable export paths before spending time simulating.
     for path in (args.trace_out, args.chrome_trace_out, args.timeline_out):
@@ -211,7 +242,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"cannot load fault plan {args.faults}: {exc}", file=sys.stderr)
         return 1
     resilience = None
-    if faults is not None and not args.no_resilience:
+    if (
+        faults is not None
+        and not args.no_resilience
+        and not _is_llm_platform(args.platform)
+    ):
+        # Token-granularity runs recover through preemption, not the
+        # retry/deadline layer.
         resilience = ResiliencePolicy(max_retries=args.max_retries)
     if args.seeds:
         return _cmd_simulate_seeds(args, faults, resilience)
@@ -221,6 +258,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         servers=args.servers,
         functions=[function],
         workload={function.name: constant_trace(args.rps, args.duration)},
+        platform_options=_platform_options(args),
         warmup_s=min(20.0, args.duration / 4),
         telemetry=bool(args.trace_out or args.chrome_trace_out),
         timeline=bool(args.timeline_out or args.chrome_trace_out),
@@ -279,6 +317,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["batch sizes", dict(sorted(report.batch_histogram.items()))],
         ["thpt/resource", f"{report.normalized_throughput:.2f}"],
     ]
+    if report.llm is not None:
+        llm = report.llm
+        preempts = ", ".join(
+            f"{mode}={count}"
+            for mode, count in sorted(llm["preemptions"].items())
+            if count
+        ) or "-"
+        rows.extend([
+            ["TTFT p50/p99",
+             f"{llm['ttft_p50_s'] * 1e3:.1f} / {llm['ttft_p99_s'] * 1e3:.1f} ms"],
+            ["TPOT p50/p99",
+             f"{llm['tpot_p50_s'] * 1e3:.2f} / {llm['tpot_p99_s'] * 1e3:.2f} ms"],
+            ["TTFT attainment", f"{llm['ttft_attainment']:.2%}"],
+            ["TPOT attainment", f"{llm['tpot_attainment']:.2%}"],
+            ["token goodput", f"{llm['token_goodput_tps']:.0f} tok/s"],
+            ["mean batch tokens", f"{llm['mean_batch_tokens']:.1f}"],
+            ["preemptions", preempts],
+            ["KV peak/capacity",
+             f"{llm['kv_peak_tokens']:,} / {llm['kv_capacity_tokens']:,} tokens"],
+        ])
     if report.resilience is not None:
         summary = report.resilience
         mttr = summary.get("mttr_s") or {}
@@ -544,6 +602,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--rps", type=float, default=300.0)
     simulate.add_argument("--duration", type=float, default=120.0)
     simulate.add_argument("--slo-ms", type=float, default=200.0)
+    simulate.add_argument(
+        "--tpot-slo-ms", type=float, default=100.0,
+        help="per-output-token SLO for the llm/llm-static/llm-fcfs"
+             " platforms (--slo-ms is then the TTFT SLO)",
+    )
+    simulate.add_argument(
+        "--preemption", choices=("swap", "sacrifice"), default=None,
+        help="KV-pressure preemption mode on llm platforms",
+    )
+    simulate.add_argument(
+        "--victims", choices=("conservative", "aggressive"), default=None,
+        help="victim-selection policy on llm platforms",
+    )
     simulate.add_argument("--servers", type=int, default=8)
     simulate.add_argument("--seed", type=int, default=1)
     simulate.add_argument(

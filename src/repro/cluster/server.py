@@ -22,11 +22,30 @@ class AllocationError(RuntimeError):
 
 @dataclass
 class GpuDevice:
-    """One physical GPU partitioned by SM percentage."""
+    """One physical GPU partitioned by SM percentage.
+
+    Besides the SM-share pool, the device tracks its *memory* in MB
+    (11 GB on the testbed's RTX 2080Ti) with two charges against it:
+    model weights reserved by a resident worker, and the KV cache of
+    autoregressive sequences, accounted in **tokens** (the ledger the
+    ``repro.llm`` preemption policies and the KV invariant audit read).
+    Single-shot platforms never touch either pool, so the fields are
+    inert for the paper's own workloads.
+    """
 
     device_id: int
     capacity: int = 100
     free: int = 100
+    #: device memory in MB (Table 2: RTX 2080Ti, 11 GB).
+    memory_mb: float = 11_264.0
+    #: MB reserved for loaded model weights.
+    weights_reserved_mb: float = 0.0
+    #: resident KV-cache tokens (the unit the audit reasons in).
+    kv_reserved_tokens: int = 0
+    #: MB occupied by those tokens (tokens x the owning model's
+    #: per-token KV size; tracked alongside so mixed-model sharing
+    #: stays auditable).
+    kv_reserved_mb: float = 0.0
 
     def can_fit(self, gpu_percent: int) -> bool:
         return gpu_percent <= self.free
@@ -44,6 +63,59 @@ class GpuDevice:
                 f"GPU {self.device_id} release of {gpu_percent}% overflows capacity"
             )
         self.free += gpu_percent
+
+    # ------------------------------------------------------------------
+    # device-memory ledger (weights + KV cache)
+    # ------------------------------------------------------------------
+    @property
+    def memory_free_mb(self) -> float:
+        """Device memory not held by weights or resident KV tokens."""
+        return self.memory_mb - self.weights_reserved_mb - self.kv_reserved_mb
+
+    def reserve_weights(self, mb: float) -> None:
+        if mb < 0:
+            raise AllocationError("negative weights reservation")
+        if mb > self.memory_free_mb + 1e-9:
+            raise AllocationError(
+                f"GPU {self.device_id}: {self.memory_free_mb:.0f} MB free,"
+                f" weights ask {mb:.0f} MB"
+            )
+        self.weights_reserved_mb += mb
+
+    def release_weights(self, mb: float) -> None:
+        if mb > self.weights_reserved_mb + 1e-9:
+            raise AllocationError(
+                f"GPU {self.device_id}: releasing {mb:.0f} MB of weights but"
+                f" only {self.weights_reserved_mb:.0f} MB reserved"
+            )
+        self.weights_reserved_mb -= mb
+
+    def kv_acquire(self, tokens: int, mb_per_token: float) -> None:
+        """Charge ``tokens`` of KV cache against device memory."""
+        if tokens < 0:
+            raise AllocationError("negative KV acquisition")
+        mb = tokens * mb_per_token
+        if mb > self.memory_free_mb + 1e-9:
+            raise AllocationError(
+                f"GPU {self.device_id}: {self.memory_free_mb:.0f} MB free,"
+                f" KV ask {mb:.0f} MB ({tokens} tokens)"
+            )
+        self.kv_reserved_tokens += tokens
+        self.kv_reserved_mb += mb
+
+    def kv_release(self, tokens: int, mb_per_token: float) -> None:
+        """Return ``tokens`` of KV cache; over-release is a hard error."""
+        if tokens > self.kv_reserved_tokens:
+            raise AllocationError(
+                f"GPU {self.device_id}: releasing {tokens} KV tokens but only"
+                f" {self.kv_reserved_tokens} resident (double release)"
+            )
+        self.kv_reserved_tokens -= tokens
+        self.kv_reserved_mb -= tokens * mb_per_token
+        if self.kv_reserved_tokens == 0:
+            # Symmetric add/subtract leaves at most float residue; snap
+            # so an empty ledger is exactly empty.
+            self.kv_reserved_mb = 0.0
 
 
 @dataclass
@@ -125,6 +197,9 @@ class Server:
         self.memory_free_mb = self.memory_capacity_mb
         for gpu in self.gpus:
             gpu.free = gpu.capacity
+            gpu.weights_reserved_mb = 0.0
+            gpu.kv_reserved_tokens = 0
+            gpu.kv_reserved_mb = 0.0
         self._refresh_gpu_totals()
 
     def weighted_capacity(self, beta: float = BETA) -> float:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.models.zoo import ModelSpec, get_model
+from repro.models.zoo import ModelSpec
 
 
 @dataclass(frozen=True)
@@ -19,9 +19,12 @@ class FunctionSpec:
 
     Attributes:
         name: unique function name (the template's ``functionName``).
-        model: the inference model backing the function.
-        slo_s: end-to-end latency SLO in seconds (the template's user-
-            specified performance requirement).
+        model: the inference model backing the function -- a Table 1
+            :class:`~repro.models.zoo.ModelSpec` for single-shot
+            platforms, or a :class:`~repro.models.llm.LLMSpec` for the
+            autoregressive platforms in ``repro.llm``.
+        slo_s: latency SLO in seconds: end-to-end for single-shot
+            functions, time-to-first-token for autoregressive ones.
     """
 
     name: str
@@ -38,6 +41,8 @@ class FunctionSpec:
     def for_model(
         cls, model_name: str, slo_s: float, name: str = ""
     ) -> "FunctionSpec":
-        """Convenience constructor from a zoo model name."""
-        model = get_model(model_name)
+        """Convenience constructor from a zoo model name (either zoo)."""
+        from repro.models import resolve_model
+
+        model = resolve_model(model_name)
         return cls(name=name or f"fn-{model_name}", model=model, slo_s=slo_s)

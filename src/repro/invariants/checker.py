@@ -22,7 +22,13 @@ Checked families:
   and, on platforms that configure per the paper's Eq. 1, a
   ``<b, c, g>`` whose rate bounds are feasible under its SLO;
 * **report consistency** -- ``drop_reasons`` sums to ``dropped`` and
-  the batch/config histograms sum to ``completed``.
+  the batch/config histograms sum to ``completed``;
+* **KV-cache ledger** (autoregressive runs) -- per worker, resident
+  KV tokens equal the sum over running sequences and the acquire
+  release delta, never exceed capacity; per healthy GPU, the device
+  token counter matches its workers' sum and ``weights + KV`` fits in
+  device memory; waiting/swapped/done sequences hold zero tokens
+  (preempted or completed caches are released exactly once).
 
 Modes: ``"off"`` (no checks), ``"collect"`` (fold findings into
 ``SimulationReport.invariant_violations``), ``"strict"`` (raise a
@@ -443,6 +449,182 @@ class InvariantChecker:
                 now,
                 f"completed+dropped={report.completed + report.dropped}"
                 f" exceeds arrived={report.arrived}",
+            )
+
+    # ------------------------------------------------------------------
+    # autoregressive (LLM) serving: KV ledger + token conservation
+    # ------------------------------------------------------------------
+    def check_kv_ledger(self, sim: object, now: float) -> None:
+        """The KV-token ledger balances at every level.
+
+        Per worker: resident tokens == sum over running sequences ==
+        acquired - released, and never above capacity.  Per healthy
+        GPU: the device counter matches its workers' sum and weights +
+        KV fit in device memory.  Sequences outside RUNNING hold no
+        tokens -- a preempted or completed cache is released exactly
+        once (a double release would already have raised in the device
+        ledger; a *missed* release shows up here as a mismatch).
+        """
+        platform = sim.platform
+        by_device: Dict[tuple, int] = {}
+        for worker in platform.workers:
+            resident = sum(s.kv_tokens for s in worker.running)
+            if resident != worker.kv_resident_tokens:
+                self._flag(
+                    "kv_ledger",
+                    now,
+                    f"worker#{worker.worker_id}: running sequences hold"
+                    f" {resident} KV tokens but ledger says"
+                    f" {worker.kv_resident_tokens}",
+                    worker=worker.worker_id,
+                )
+            delta = worker.kv_acquired_total - worker.kv_released_total
+            if delta != worker.kv_resident_tokens:
+                self._flag(
+                    "kv_ledger",
+                    now,
+                    f"worker#{worker.worker_id}: acquired-released"
+                    f" delta {delta} != resident"
+                    f" {worker.kv_resident_tokens} (leak or double"
+                    " release)",
+                    worker=worker.worker_id,
+                )
+            if worker.kv_resident_tokens > worker.kv_capacity_tokens:
+                self._flag(
+                    "kv_ledger",
+                    now,
+                    f"worker#{worker.worker_id}: {worker.kv_resident_tokens}"
+                    f" resident KV tokens exceed capacity"
+                    f" {worker.kv_capacity_tokens}",
+                    worker=worker.worker_id,
+                )
+            for seq in list(worker.waiting) + list(worker.swapped):
+                if seq.kv_tokens != 0:
+                    self._flag(
+                        "kv_ledger",
+                        now,
+                        f"worker#{worker.worker_id}: request"
+                        f" {seq.request_id} is {seq.state.value} but"
+                        f" still holds {seq.kv_tokens} KV tokens",
+                        worker=worker.worker_id,
+                        request=seq.request_id,
+                    )
+            key = (worker.server_id, worker.device.device_id)
+            by_device[key] = by_device.get(key, 0) + worker.kv_resident_tokens
+        for server in platform.cluster.servers:
+            if not server.healthy:
+                continue
+            for gpu in server.gpus:
+                expected = by_device.get((server.server_id, gpu.device_id), 0)
+                if gpu.kv_reserved_tokens != expected:
+                    self._flag(
+                        "kv_ledger",
+                        now,
+                        f"server {server.server_id} GPU {gpu.device_id}:"
+                        f" device holds {gpu.kv_reserved_tokens} KV"
+                        f" tokens, workers account {expected}",
+                        server=server.server_id,
+                        device=gpu.device_id,
+                    )
+                occupied = gpu.weights_reserved_mb + gpu.kv_reserved_mb
+                if occupied > gpu.memory_mb + TOL:
+                    self._flag(
+                        "kv_ledger",
+                        now,
+                        f"server {server.server_id} GPU {gpu.device_id}:"
+                        f" weights+KV occupy {occupied:.1f} MB of"
+                        f" {gpu.memory_mb:.0f} MB device memory",
+                        server=server.server_id,
+                        device=gpu.device_id,
+                    )
+                if gpu.kv_reserved_tokens == 0 and gpu.kv_reserved_mb != 0.0:
+                    self._flag(
+                        "kv_ledger",
+                        now,
+                        f"server {server.server_id} GPU {gpu.device_id}:"
+                        f" zero KV tokens but {gpu.kv_reserved_mb} MB"
+                        " still charged (float residue)",
+                        server=server.server_id,
+                        device=gpu.device_id,
+                    )
+
+    def check_llm_request_conservation(self, sim: object, now: float) -> None:
+        waiting, running, swapped = sim.sequences_in_system()
+        counts = {
+            "arrived": sim.metrics.arrived,
+            "completed": len(sim.metrics.records),
+            "dropped": sim.metrics.dropped,
+            "waiting": waiting,
+            "running": running,
+            "swapped": swapped,
+        }
+        accounted = sum(v for k, v in counts.items() if k != "arrived")
+        if accounted != counts["arrived"]:
+            self._flag(
+                "request_conservation",
+                now,
+                f"arrived={counts['arrived']} but accounted={accounted}",
+                **counts,
+            )
+
+    def check_llm_records(self, sim: object, now: float) -> None:
+        """Per-token metrics are physically sensible."""
+        for record in sim.metrics.records:
+            if record.ttft_s < -TOL or record.tpot_s < -TOL:
+                self._flag(
+                    "llm_latency",
+                    now,
+                    f"{record.function}: negative per-token latency"
+                    f" (ttft={record.ttft_s:.6f}, tpot={record.tpot_s:.6f})",
+                    function=record.function,
+                )
+                continue
+            if record.ttft_s > record.latency_s + TOL:
+                self._flag(
+                    "llm_latency",
+                    now,
+                    f"{record.function}: TTFT {record.ttft_s:.6f}s exceeds"
+                    f" end-to-end latency {record.latency_s:.6f}s",
+                    function=record.function,
+                )
+            if record.output_tokens == 1 and record.tpot_s != 0.0:
+                self._flag(
+                    "llm_latency",
+                    now,
+                    f"{record.function}: single-token request with"
+                    f" tpot={record.tpot_s:.6f}s",
+                    function=record.function,
+                )
+
+    def check_llm_tick(self, sim: object, now: float) -> None:
+        """The per-control-tick audit for autoregressive runs."""
+        if not self.enabled:
+            return
+        self.check_llm_request_conservation(sim, now)
+        self.check_resource_conservation(sim, now)
+        self.check_kv_ledger(sim, now)
+
+    def check_llm_final(self, sim: object, now: float) -> None:
+        """The end-of-run audit for autoregressive runs."""
+        if not self.enabled:
+            return
+        self.check_llm_request_conservation(sim, now)
+        self.check_resource_conservation(sim, now)
+        self.check_kv_ledger(sim, now)
+        self.check_latency_tiling(sim, now)
+        self.check_llm_records(sim, now)
+        self.check_telemetry_agreement(sim, now)
+        waiting, running, swapped = sim.sequences_in_system()
+        if waiting or running or swapped:
+            self._flag(
+                "request_conservation",
+                now,
+                f"{waiting + running + swapped} sequence(s) stranded after"
+                f" the event loop drained (waiting={waiting},"
+                f" running={running}, swapped={swapped})",
+                waiting=waiting,
+                running=running,
+                swapped=swapped,
             )
 
     # ------------------------------------------------------------------

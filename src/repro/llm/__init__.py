@@ -1,0 +1,45 @@
+"""Autoregressive (LLM) serving on the INFless testbed.
+
+A new workload class next to the paper's single-shot inference: each
+request carries a prompt and generates tokens one decode iteration at
+a time, with its KV cache charged against server GPU memory.  The
+subsystem provides
+
+* :class:`~repro.llm.engine.ContinuousBatchingLLM` -- iteration-level
+  (continuous) batching with SLO-aware admission, plus a static-batch
+  adaptation for comparison;
+* swap-vs-sacrifice preemption under KV-memory pressure with
+  conservative and aggressive victim selection;
+* :class:`~repro.llm.simulation.LLMSimulation` -- the token-boundary
+  discrete-event runtime producing the standard
+  :class:`~repro.simulation.metrics.SimulationReport` with an ``llm``
+  block (TTFT/TPOT percentiles, preemption tallies, KV peaks).
+
+See ``docs/llm-serving.md`` for the cost model and its deviations
+from both INFless and real LLM servers.
+"""
+
+from repro.llm.sequence import Sequence, SequenceState
+from repro.llm.engine import (
+    ADMISSION_POLICIES,
+    PREEMPTION_MODES,
+    VICTIM_POLICIES,
+    ContinuousBatchingLLM,
+    LLMWorker,
+    StaticBatchLLM,
+    StepPlan,
+)
+from repro.llm.simulation import LLMSimulation
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "PREEMPTION_MODES",
+    "VICTIM_POLICIES",
+    "ContinuousBatchingLLM",
+    "LLMWorker",
+    "LLMSimulation",
+    "Sequence",
+    "SequenceState",
+    "StaticBatchLLM",
+    "StepPlan",
+]

@@ -38,6 +38,35 @@ class RequestRecord:
 
 
 @dataclass
+class LLMRequestRecord(RequestRecord):
+    """One completed autoregressive request's timeline.
+
+    Extends the single-shot record with token counts and the per-token
+    latency metrics LLM serving is judged on: TTFT (time to first
+    token) and TPOT (mean time per output token after the first).  SLO
+    attainment is per-token -- ``slo_s`` is the TTFT SLO and
+    ``tpot_slo_s`` bounds the decode rate -- so goodput counts
+    completions whose whole token stream met its deadlines, not
+    whose end-to-end latency beat an (irrelevant) single-shot bound.
+    """
+
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    ttft_s: float = 0.0
+    tpot_s: float = 0.0
+    tpot_slo_s: float = float("inf")
+    preemptions: int = 0
+    restarts: int = 0
+
+    @property
+    def violated_slo(self) -> bool:  # type: ignore[override]
+        return (
+            self.ttft_s > self.slo_s + 1e-9
+            or self.tpot_s > self.tpot_slo_s + 1e-9
+        )
+
+
+@dataclass
 class SimulationReport:
     """Aggregated outcome of one serving simulation."""
 
@@ -85,6 +114,11 @@ class SimulationReport:
     #: per-function MTTR); None on zero-fault runs so the report stays
     #: bit-identical to pre-faults goldens.
     resilience: Optional[Dict[str, object]] = None
+    #: autoregressive-serving summary (TTFT/TPOT percentiles, token
+    #: counts, preemption/swap tallies, KV-cache peaks); None on
+    #: single-shot runs so those reports stay bit-identical to the
+    #: pre-LLM goldens.
+    llm: Optional[Dict[str, object]] = None
 
     @property
     def violation_rate(self) -> float:
@@ -128,9 +162,12 @@ class SimulationReport:
         payload["drop_rate"] = self.drop_rate
         payload["goodput_rps"] = self.goodput_rps
         # Zero-fault runs must serialise exactly as they did before the
-        # resilience layer existed (bit-identical golden reports).
+        # resilience layer existed (bit-identical golden reports), and
+        # single-shot runs exactly as before the LLM subsystem.
         if self.resilience is None:
             payload.pop("resilience", None)
+        if self.llm is None:
+            payload.pop("llm", None)
         return payload
 
 

@@ -31,6 +31,9 @@ DROP_DEADLINE = "deadline_expired"
 #: load-shed at the gateway: the backlog already exceeds what the
 #: ready fleet can clear within the SLO.
 DROP_SHED = "shed_overload"
+#: the request can never fit: prompt + output KV exceeds every
+#: worker's cache capacity (repro.llm admission guard).
+DROP_KV_INFEASIBLE = "kv_infeasible"
 
 DROP_REASONS = (
     DROP_QUEUE_FULL,
@@ -39,7 +42,18 @@ DROP_REASONS = (
     DROP_SERVER_FAILURE,
     DROP_DEADLINE,
     DROP_SHED,
+    DROP_KV_INFEASIBLE,
 )
+
+# ---------------------------------------------------------------------------
+# preemption reasons (repro.llm: KV-memory pressure during decode)
+# ---------------------------------------------------------------------------
+#: victim's KV cache swapped to host memory; resumes where it left off.
+PREEMPT_SWAP = "swap"
+#: victim's KV cache discarded; the request restarts from prefill.
+PREEMPT_SACRIFICE = "sacrifice"
+
+PREEMPT_MODES = (PREEMPT_SWAP, PREEMPT_SACRIFICE)
 
 
 # ---------------------------------------------------------------------------
@@ -61,6 +75,10 @@ SERVER_FAILURE = "server_failure"
 SERVER_RECOVERY = "server_recovery"
 REQUEST_RETRY = "request_retry"
 FAULT_INJECTED = "fault_injected"
+LLM_STEP = "llm_step"
+PREEMPTION = "preemption"
+SWAP_IN = "swap_in"
+FIRST_TOKEN = "first_token"
 
 #: the per-request phase names, in lifecycle order.
 REQUEST_PHASES = ("cold_wait", "batch_wait", "exec")

@@ -142,6 +142,42 @@ class Tracer:
     ) -> None:
         """A stranded request was scheduled for re-dispatch."""
 
+    # -- autoregressive serving (repro.llm) ------------------------------
+    def llm_step(
+        self,
+        instance: int,
+        ts: float,
+        kind: str,
+        batch_tokens: int,
+        sequences: int,
+        duration_s: float,
+    ) -> None:
+        """An LLM worker ran one prefill/decode iteration."""
+
+    def first_token(
+        self, request: int, function: str, instance: int, ts: float,
+        ttft_s: float,
+    ) -> None:
+        """A sequence emitted its first output token."""
+
+    def preemption(
+        self,
+        request: int,
+        function: str,
+        instance: int,
+        ts: float,
+        mode: str,
+        policy: str,
+        kv_tokens: int,
+    ) -> None:
+        """A running sequence was evicted under KV-memory pressure."""
+
+    def swap_in(
+        self, request: int, function: str, instance: int, ts: float,
+        kv_tokens: int,
+    ) -> None:
+        """A swapped-out sequence's KV cache returned to the GPU."""
+
 
 #: alias making call sites explicit about the zero-overhead default.
 NullTracer = Tracer
@@ -347,6 +383,73 @@ class InMemoryTracer(Tracer):
             function=function,
             attempt=attempt,
             delay_s=delay_s,
+        )
+
+    # -- autoregressive serving (repro.llm) --------------------------------
+    def llm_step(
+        self,
+        instance: int,
+        ts: float,
+        kind: str,
+        batch_tokens: int,
+        sequences: int,
+        duration_s: float,
+    ) -> None:
+        self._emit(
+            ts,
+            ev.LLM_STEP,
+            instance=self._instance(instance),
+            step=kind,
+            batch_tokens=batch_tokens,
+            sequences=sequences,
+            duration_s=duration_s,
+        )
+
+    def first_token(
+        self, request: int, function: str, instance: int, ts: float,
+        ttft_s: float,
+    ) -> None:
+        self._emit(
+            ts,
+            ev.FIRST_TOKEN,
+            request=self._request(request),
+            function=function,
+            instance=self._instance(instance),
+            ttft_s=ttft_s,
+        )
+
+    def preemption(
+        self,
+        request: int,
+        function: str,
+        instance: int,
+        ts: float,
+        mode: str,
+        policy: str,
+        kv_tokens: int,
+    ) -> None:
+        self._emit(
+            ts,
+            ev.PREEMPTION,
+            request=self._request(request),
+            function=function,
+            instance=self._instance(instance),
+            mode=mode,
+            policy=policy,
+            kv_tokens=kv_tokens,
+        )
+
+    def swap_in(
+        self, request: int, function: str, instance: int, ts: float,
+        kv_tokens: int,
+    ) -> None:
+        self._emit(
+            ts,
+            ev.SWAP_IN,
+            request=self._request(request),
+            function=function,
+            instance=self._instance(instance),
+            kv_tokens=kv_tokens,
         )
 
 

@@ -21,7 +21,10 @@ def _report_dict(report):
 
 class TestMakePlatform:
     def test_registry_names(self):
-        assert set(PLATFORMS) == {"infless", "openfaas+", "batch", "batch+rs"}
+        assert set(PLATFORMS) == {
+            "infless", "openfaas+", "batch", "batch+rs",
+            "llm", "llm-static", "llm-fcfs",
+        }
 
     def test_builds_each_platform(self, predictor):
         for name, cls in PLATFORMS.items():

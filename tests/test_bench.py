@@ -25,6 +25,12 @@ from repro.bench.suites import BENCHMARKS, MACRO_BENCHMARKS, MICRO_BENCHMARKS
 #: pre-optimization code's margin over this floor was ~4x smaller).
 EVENT_QUEUE_FLOOR_EV_S = 25_000.0
 
+#: conservative events/sec floor for the continuous-batching decode
+#: micro-benchmark.  The engine does ~9k ev/s on the development
+#: machine; the floor leaves ~10x headroom for CI jitter while still
+#: catching a decode-loop hot-path regression.
+LLM_DECODE_FLOOR_EV_S = 900.0
+
 
 # ----------------------------------------------------------------------
 # harness
@@ -164,4 +170,20 @@ def test_event_queue_throughput_floor():
     assert result.events_per_s >= EVENT_QUEUE_FLOOR_EV_S, (
         f"event_queue throughput {result.events_per_s:,.0f} ev/s fell below"
         f" the {EVENT_QUEUE_FLOOR_EV_S:,.0f} ev/s regression floor"
+    )
+
+
+def test_llm_decode_throughput_floor():
+    """The continuous-batching decode loop must stay above its floor.
+
+    Guards the ``repro.llm`` iteration-level scheduler: the benchmark
+    replays a steady decode-dominated workload, so a collapse here
+    means per-token bookkeeping (KV ledger updates, step planning)
+    regressed to something pathological.
+    """
+    (result,) = run_suite(quick=True, names=["llm_decode"])
+    assert result.events > 0
+    assert result.events_per_s >= LLM_DECODE_FLOOR_EV_S, (
+        f"llm_decode throughput {result.events_per_s:,.0f} ev/s fell below"
+        f" the {LLM_DECODE_FLOOR_EV_S:,.0f} ev/s regression floor"
     )

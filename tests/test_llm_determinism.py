@@ -1,0 +1,77 @@
+"""Determinism and safety properties of the LLM runtime.
+
+* bit-identical repeat runs (a run is a pure function of its seed);
+* the golden TTFT/TPOT report for a fixed seed;
+* a hypothesis property: preemption never strands a request --
+  whatever the KV cap, preemption mode and victim policy, every
+  arrival ends the run completed or dropped, never parked forever.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_testbed_cluster
+from repro.core import FunctionSpec
+from repro.llm import ContinuousBatchingLLM, LLMSimulation
+from repro.workloads import constant_trace
+
+from tests.llm_golden import GOLDEN_LLM_PATH, scenario_llm_continuous
+
+
+def test_repeat_runs_are_bit_identical():
+    first = json.loads(json.dumps(scenario_llm_continuous()))
+    second = json.loads(json.dumps(scenario_llm_continuous()))
+    assert first == second
+
+
+def test_llm_report_matches_golden_bit_identically():
+    assert GOLDEN_LLM_PATH.exists(), (
+        f"{GOLDEN_LLM_PATH} missing; regenerate with"
+        " `PYTHONPATH=src python -m tests.llm_golden --write`"
+    )
+    golden = json.loads(GOLDEN_LLM_PATH.read_text())
+    current = json.loads(json.dumps(scenario_llm_continuous()))
+    assert current == golden, (
+        "the LLM golden diverged -- a change altered continuous-"
+        "batching behaviour (RNG consumption, step planning, KV"
+        " accounting); regenerate only if that change is deliberate"
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    max_kv_tokens=st.integers(min_value=1200, max_value=4000),
+    preemption=st.sampled_from(["swap", "sacrifice"]),
+    victims=st.sampled_from(["conservative", "aggressive"]),
+)
+def test_preemption_never_strands_a_request(
+    seed, max_kv_tokens, preemption, victims
+):
+    """Every arrival finishes or is dropped, under any KV pressure.
+
+    Runs under the strict invariant audit (autouse fixture), so the
+    KV ledger and conservation checks also gate every control tick of
+    every generated case.
+    """
+    function = FunctionSpec.for_model("llm-125m", slo_s=0.5)
+    platform = ContinuousBatchingLLM(
+        build_testbed_cluster(num_servers=2),
+        admission="fcfs",
+        max_kv_tokens=max_kv_tokens,
+        preemption=preemption,
+        victims=victims,
+    )
+    platform.deploy(function)
+    simulation = LLMSimulation(
+        platform=platform,
+        workload={function.name: constant_trace(14.0, 8.0)},
+        seed=seed,
+    )
+    report = simulation.run()
+    assert report.completed + report.dropped == report.arrived
+    assert simulation.sequences_in_system() == (0, 0, 0)

@@ -1,0 +1,265 @@
+"""Continuous batching, KV preemption and the LLM report surface.
+
+Every simulation here runs under the strict invariant audit (the
+autouse conftest fixture), so a KV-ledger leak or a stranded sequence
+raises instead of silently skewing an assertion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Experiment
+from repro.baselines import LLMFCFSBaseline
+from repro.cluster import build_testbed_cluster
+from repro.cluster.server import AllocationError
+from repro.core import FunctionSpec
+from repro.llm import (
+    ContinuousBatchingLLM,
+    LLMSimulation,
+    StaticBatchLLM,
+)
+from repro.faults import FaultPlan, IngressSpike, ServerCrash, ServerRecovery
+from repro.telemetry import InMemoryTracer
+from repro.workloads import constant_trace
+
+
+def _llm_function(slo_s: float = 0.5) -> FunctionSpec:
+    return FunctionSpec.for_model("llm-125m", slo_s=slo_s)
+
+
+def _run(
+    platform_cls=ContinuousBatchingLLM,
+    rps: float = 12.0,
+    duration_s: float = 10.0,
+    seed: int = 3,
+    tracer=None,
+    faults=None,
+    **options,
+):
+    function = _llm_function()
+    platform = platform_cls(build_testbed_cluster(num_servers=2), **options)
+    platform.deploy(function)
+    simulation = LLMSimulation(
+        platform=platform,
+        workload={function.name: constant_trace(rps, duration_s)},
+        tracer=tracer,
+        faults=faults,
+        seed=seed,
+    )
+    return simulation, simulation.run()
+
+
+# ----------------------------------------------------------------------
+# engine basics
+# ----------------------------------------------------------------------
+def test_continuous_batching_serves_and_reports():
+    simulation, report = _run()
+    assert report.arrived > 0
+    assert report.completed + report.dropped == report.arrived
+    assert simulation.sequences_in_system() == (0, 0, 0)
+    llm = report.llm
+    assert llm["requests"] == report.completed
+    assert llm["ttft_p50_s"] > 0
+    assert llm["tpot_p50_s"] > 0
+    assert 0.0 <= llm["ttft_attainment"] <= 1.0
+    assert llm["tokens_generated"] >= report.completed
+    assert llm["kv_peak_tokens"] <= llm["kv_capacity_tokens"]
+
+
+def test_llm_platform_rejects_single_shot_models():
+    platform = ContinuousBatchingLLM(build_testbed_cluster(num_servers=2))
+    with pytest.raises(TypeError, match="single-shot"):
+        platform.deploy(FunctionSpec.for_model("resnet-50", slo_s=0.2))
+
+
+def test_llm_simulation_rejects_single_shot_platforms():
+    from repro.core import INFlessEngine
+
+    platform = INFlessEngine(build_testbed_cluster(num_servers=2))
+    with pytest.raises(TypeError, match="autoregressive"):
+        LLMSimulation(platform=platform, workload={})
+
+
+def test_llm_simulation_rejects_resilience_policies():
+    platform = ContinuousBatchingLLM(build_testbed_cluster(num_servers=2))
+    platform.deploy(_llm_function())
+    with pytest.raises(ValueError, match="resilience"):
+        LLMSimulation(platform=platform, workload={}, resilience=True)
+
+
+def test_deploy_fails_loudly_when_nothing_fits():
+    function = FunctionSpec.for_model("llm-3b", slo_s=1.0)
+    cluster = build_testbed_cluster(num_servers=1, gpus_per_server=1)
+    platform = ContinuousBatchingLLM(cluster, replicas=1, gpu_percent=100)
+    platform.deploy(function)  # the first replica takes the whole GPU
+    second = FunctionSpec.for_model("llm-3b", slo_s=1.0, name="second")
+    with pytest.raises(AllocationError, match="llm-3b"):
+        platform.deploy(second)
+
+
+# ----------------------------------------------------------------------
+# preemption: all four mode x victim-policy combinations
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("preemption", ["swap", "sacrifice"])
+@pytest.mark.parametrize("victims", ["conservative", "aggressive"])
+def test_preemption_combos_conserve_requests(preemption, victims):
+    tracer = InMemoryTracer()
+    simulation, report = _run(
+        rps=15.0,
+        duration_s=12.0,
+        seed=11,
+        tracer=tracer,
+        admission="fcfs",
+        max_kv_tokens=2000,
+        preemption=preemption,
+        victims=victims,
+    )
+    assert report.completed + report.dropped == report.arrived
+    assert simulation.sequences_in_system() == (0, 0, 0)
+    llm = report.llm
+    # The tight KV cap must actually trigger the machinery under test.
+    assert llm["preemptions"][preemption] > 0
+    other = "sacrifice" if preemption == "swap" else "swap"
+    assert llm["preemptions"][other] == 0
+    if preemption == "swap":
+        assert llm["swap_ins"] > 0
+    assert llm["kv_peak_tokens"] <= 2000
+
+
+def test_kv_infeasible_requests_drop_at_the_door():
+    _simulation, report = _run(
+        rps=8.0, duration_s=6.0, admission="fcfs", max_kv_tokens=100
+    )
+    # Almost no request's worst case fits in 100 KV tokens; whatever
+    # is shed must be shed for exactly that reason, at the door.
+    assert report.drop_reasons.get("kv_infeasible", 0) == report.dropped
+    assert report.dropped > 0
+    assert report.completed + report.dropped == report.arrived
+
+
+def test_fcfs_queue_cap_sheds_overflow():
+    # A tight KV cap stalls admission at the head of the queue, so the
+    # gateway backlog grows past the cap and overflow arrivals shed.
+    _simulation, report = _run(
+        rps=60.0,
+        duration_s=8.0,
+        admission="fcfs",
+        max_queue=4,
+        max_kv_tokens=700,
+    )
+    assert report.drop_reasons.get("queue_full", 0) > 0
+    assert report.completed + report.dropped == report.arrived
+
+
+# ----------------------------------------------------------------------
+# continuous vs static batching (the tentpole claim)
+# ----------------------------------------------------------------------
+def test_continuous_beats_static_on_token_goodput():
+    """Iteration-level scheduling wins goodput under a TPOT SLO."""
+    common = dict(rps=40.0, duration_s=15.0, seed=11, tpot_slo_s=0.05)
+    _sim_cb, continuous = _run(ContinuousBatchingLLM, **common)
+    _sim_st, static = _run(StaticBatchLLM, **common)
+    assert (
+        continuous.llm["token_goodput_tps"]
+        > static.llm["token_goodput_tps"]
+    )
+    assert continuous.llm["scheduling"] == "continuous"
+    assert static.llm["scheduling"] == "static"
+
+
+# ----------------------------------------------------------------------
+# the FCFS baseline through the Experiment facade
+# ----------------------------------------------------------------------
+def test_fcfs_baseline_runs_via_experiment():
+    function = _llm_function()
+    experiment = Experiment(
+        platform="llm-fcfs",
+        servers=2,
+        functions=[function],
+        workload={function.name: constant_trace(10.0, 8.0)},
+        platform_options={"tpot_slo_s": 0.08},
+        seed=4,
+    )
+    report = experiment.run()
+    assert isinstance(experiment.simulation.platform, LLMFCFSBaseline)
+    assert experiment.simulation.platform.admission == "fcfs"
+    assert report.llm["admission"] == "fcfs"
+    assert report.llm["tpot_slo_s"] == pytest.approx(0.08)
+    assert report.completed > 0
+
+
+def test_llm_platforms_are_campaign_axis_values():
+    from repro.campaign import CampaignSpec
+
+    spec = CampaignSpec.from_dict(
+        {
+            "name": "llm-mini",
+            "axes": {
+                "platform": ["llm", "llm-static", "llm-fcfs"],
+                "model": ["llm-125m"],
+                "rps": [5.0],
+                "slo_ms": [500.0],
+                "servers": [2],
+            },
+            "replicates": [0],
+            "duration_s": 4.0,
+        }
+    )
+    runs = spec.expand()
+    assert [run.cell["platform"] for run in runs] == [
+        "llm", "llm-static", "llm-fcfs",
+    ]
+    assert all(run.experiment["platform"] == run.cell["platform"]
+               for run in runs)
+
+
+def test_single_shot_reports_omit_the_llm_block():
+    function = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+    experiment = Experiment(
+        platform="infless",
+        servers=2,
+        functions=[function],
+        workload={function.name: constant_trace(20.0, 5.0)},
+        seed=2,
+    )
+    report = experiment.run()
+    assert report.llm is None
+    assert "llm" not in report.to_dict()
+
+
+# ----------------------------------------------------------------------
+# faults at token granularity
+# ----------------------------------------------------------------------
+def test_server_crash_drops_in_flight_and_recovery_reheals():
+    plan = FaultPlan(
+        events=(
+            ServerCrash(at_s=4.0, server_id=0),
+            ServerRecovery(at_s=8.0, server_id=0),
+        )
+    )
+    simulation, report = _run(
+        rps=10.0, duration_s=14.0, replicas=2, faults=plan
+    )
+    assert report.completed + report.dropped == report.arrived
+    assert report.drop_reasons.get("server_failure", 0) > 0
+    # The control loop re-placed the lost replica after recovery.
+    assert simulation.platform.launches > 2
+
+
+def test_unsupported_fault_kinds_raise_at_run():
+    plan = FaultPlan(
+        events=(
+            IngressSpike(at_s=2.0, duration_s=2.0, extra_delay_s=0.5),
+        )
+    )
+    function = _llm_function()
+    platform = ContinuousBatchingLLM(build_testbed_cluster(num_servers=2))
+    platform.deploy(function)
+    simulation = LLMSimulation(
+        platform=platform,
+        workload={function.name: constant_trace(5.0, 4.0)},
+        faults=plan,
+    )
+    with pytest.raises(ValueError, match="token granularity"):
+        simulation.run()
