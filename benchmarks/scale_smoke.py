@@ -1,0 +1,91 @@
+"""Scale smoke: a 2000-function Azure-layout CSV through the sharded,
+sketch-mode trace replay under a fixed parent-process RSS budget.
+
+The guard CI runs to keep the scale-out path honest: streaming CSV
+ingestion, per-function micro-simulations fanned over the process
+pool, and the deterministic merge must all stay O(functions) -- never
+O(requests) -- in the coordinating process.  A regression that starts
+retaining per-request records (or materializing every arrival array
+up front) blows the RSS budget long before it times out.
+
+Usage:
+    PYTHONPATH=src python benchmarks/scale_smoke.py \
+        --functions 2000 --workers 2 --rss-budget-mb 300
+"""
+
+import argparse
+import resource
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.campaign import TraceShardConfig, run_trace_shards
+from repro.workloads import iter_azure_csv
+from repro.workloads.azure import write_azure_csv
+from repro.workloads.trace import Trace
+
+
+def make_csv(path: str, functions: int, minutes: int, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    traces = {
+        f"app{index:05d}/fn": Trace(
+            name=f"app{index:05d}/fn",
+            rps=rng.uniform(0.2, 1.0, size=minutes),
+            step_s=60.0,
+        )
+        for index in range(functions)
+    }
+    write_azure_csv(path, traces)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--functions", type=int, default=2000)
+    parser.add_argument("--minutes", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--rss-budget-mb", type=float, default=300.0,
+        help="hard ceiling on the coordinating process's peak RSS",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    with tempfile.NamedTemporaryFile(suffix=".csv") as handle:
+        make_csv(handle.name, args.functions, args.minutes, args.seed)
+        traces = dict(iter_azure_csv(handle.name))
+    result = run_trace_shards(
+        traces,
+        TraceShardConfig(servers=1, root_seed=args.seed),
+        workers=args.workers,
+    )
+    report = result["report"]
+    peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    print(
+        f"functions={report['functions']}"
+        f" completed={report['completed']}"
+        f" p99={report['latency_p99_s'] * 1e3:.1f}ms"
+        f" wall={time.time() - started:.1f}s"
+        f" peak_rss={peak_mb:.0f}MB budget={args.rss_budget_mb:.0f}MB"
+    )
+    if report["functions"] != args.functions:
+        print(f"FAIL: expected {args.functions} functions", file=sys.stderr)
+        return 1
+    if report["completed"] <= 0:
+        print("FAIL: no completions", file=sys.stderr)
+        return 1
+    if peak_mb > args.rss_budget_mb:
+        print(
+            f"FAIL: peak RSS {peak_mb:.0f}MB exceeds the"
+            f" {args.rss_budget_mb:.0f}MB budget",
+            file=sys.stderr,
+        )
+        return 1
+    print("scale smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,6 +144,9 @@ class Experiment:
         cold_queue_batches: int = 64,
         chains: Optional[Dict[str, str]] = None,
         end_to_end_slo_s: Optional[float] = None,
+        metrics_mode: str = "exact",
+        arrival_mode: str = "eager",
+        arrival_window_s: float = 60.0,
     ) -> None:
         self._platform_spec = platform
         self.workload = dict(workload)
@@ -179,6 +182,9 @@ class Experiment:
         self.cold_queue_batches = cold_queue_batches
         self.chains = chains
         self.end_to_end_slo_s = end_to_end_slo_s
+        self.metrics_mode = metrics_mode
+        self.arrival_mode = arrival_mode
+        self.arrival_window_s = arrival_window_s
         self.platform = None
         self.simulation: Union[None, ServingSimulation, LLMSimulation] = None
         self.report: Optional[SimulationReport] = None
@@ -226,6 +232,12 @@ class Experiment:
                     "function chains are not supported on autoregressive"
                     " platforms"
                 )
+            if self.metrics_mode != "exact" or self.arrival_mode != "eager":
+                raise ValueError(
+                    "sketch metrics / windowed arrivals are not supported"
+                    " on autoregressive platforms yet (the LLM summary"
+                    " keeps per-request token records)"
+                )
             self.simulation = LLMSimulation(
                 platform=self.platform,
                 workload=self.workload,
@@ -256,6 +268,9 @@ class Experiment:
             invariants=self.invariants,
             faults=self.faults,
             resilience=self.resilience,
+            metrics_mode=self.metrics_mode,
+            arrival_mode=self.arrival_mode,
+            arrival_window_s=self.arrival_window_s,
             seed=self.seed,
         )
         return self.simulation
@@ -319,7 +334,7 @@ class Experiment:
                     "slo_s": function.slo_s,
                     "name": function.name,
                 })
-        return {
+        spec: Dict[str, object] = {
             "schema": SPEC_SCHEMA,
             "platform": self._platform_spec,
             "platform_options": dict(self.platform_options),
@@ -343,6 +358,15 @@ class Experiment:
             "chains": dict(self.chains) if self.chains else None,
             "end_to_end_slo_s": self.end_to_end_slo_s,
         }
+        # Emitted only when non-default: campaign resume is content-
+        # addressed on the spec, so default-mode specs must hash exactly
+        # as they did before these knobs existed.
+        if self.metrics_mode != "exact":
+            spec["metrics_mode"] = self.metrics_mode
+        if self.arrival_mode != "eager":
+            spec["arrival_mode"] = self.arrival_mode
+            spec["arrival_window_s"] = self.arrival_window_s
+        return spec
 
     @classmethod
     def from_spec(cls, spec: Dict[str, object]) -> "Experiment":
@@ -392,4 +416,7 @@ class Experiment:
             cold_queue_batches=spec.get("cold_queue_batches", 64),
             chains=spec.get("chains"),
             end_to_end_slo_s=spec.get("end_to_end_slo_s"),
+            metrics_mode=spec.get("metrics_mode", "exact"),
+            arrival_mode=spec.get("arrival_mode", "eager"),
+            arrival_window_s=spec.get("arrival_window_s", 60.0),
         )

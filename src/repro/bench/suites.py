@@ -140,6 +140,29 @@ def bench_llm_decode(quick: bool = False) -> int:
     return experiment.simulation.loop.processed
 
 
+def bench_sketch_metrics(quick: bool = False) -> int:
+    """Quantile-sketch ingest/merge/query: the scale-out metrics path.
+
+    Streams a deterministic latency-shaped series into per-shard
+    sketches, merges them and queries the percentiles -- the exact
+    operations sharded trace replays and sketch-mode collectors spend
+    their metrics budget on; returns values ingested.
+    """
+    from repro.simulation.sketches import QuantileSketch
+
+    n = 200_000 if quick else 1_000_000
+    shards = 8
+    sketches = [QuantileSketch() for _shard in range(shards)]
+    for index in range(n):
+        # Deterministic multi-modal latencies spanning ~4 decades.
+        value = 0.001 + (index % 977) * 1e-4 + (index % 31) * 0.01
+        sketches[index % shards].add(value)
+    merged = QuantileSketch.merged(sketches)
+    for q in (50.0, 95.0, 99.0, 99.9):
+        merged.quantile(q)
+    return merged.count
+
+
 def bench_invariant_tick(quick: bool = False) -> int:
     """Cost of one conservation-audit control tick, repeated.
 
@@ -256,6 +279,7 @@ MICRO_BENCHMARKS: Dict[str, Callable[[bool], int]] = {
     "event_queue": bench_event_queue,
     "scheduler_search": bench_scheduler_search,
     "batch_queue": bench_batch_queue,
+    "sketch_metrics": bench_sketch_metrics,
     "llm_decode": bench_llm_decode,
     "invariant_tick": bench_invariant_tick,
 }

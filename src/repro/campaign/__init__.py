@@ -23,9 +23,19 @@ Drive it with ``python -m repro.cli campaign run|status|report``; see
 from repro.campaign.aggregate import (
     CELL_METRICS,
     aggregate_results,
+    pool_latency_sketches,
     report_csv,
     report_rows,
     summarize,
+)
+from repro.campaign.shards import (
+    SHARD_SCHEMA,
+    TraceShardConfig,
+    execute_trace_shard,
+    function_seed,
+    merge_function_results,
+    plan_shards,
+    run_trace_shards,
 )
 from repro.campaign.runner import (
     CampaignOutcome,
@@ -51,9 +61,17 @@ from repro.campaign.store import STORE_SCHEMA, CampaignStore
 __all__ = [
     "CELL_METRICS",
     "aggregate_results",
+    "pool_latency_sketches",
     "report_csv",
     "report_rows",
     "summarize",
+    "SHARD_SCHEMA",
+    "TraceShardConfig",
+    "execute_trace_shard",
+    "function_seed",
+    "merge_function_results",
+    "plan_shards",
+    "run_trace_shards",
     "CampaignOutcome",
     "RunTimeout",
     "default_progress",

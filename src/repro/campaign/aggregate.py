@@ -20,6 +20,7 @@ import math
 from typing import Dict, List, Sequence, Tuple
 
 from repro.campaign.spec import AXIS_ORDER, canonical_json
+from repro.simulation.sketches import QuantileSketch
 
 #: metric name -> key in the per-run report payload.
 CELL_METRICS: Tuple[Tuple[str, str], ...] = (
@@ -66,6 +67,33 @@ def summarize(values: Sequence[float]) -> Dict[str, object]:
     }
 
 
+def pool_latency_sketches(
+    reports: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """Merge per-run latency sketches into one pooled-latency block.
+
+    Per-seed percentile means (what :data:`CELL_METRICS` summarizes)
+    answer "what p99 does a typical seed see"; the pooled sketch
+    answers "what is the p99 over *all* requests of all replicates" --
+    the merge is exact bin addition, so pooling N shards or N seeds is
+    the same operation the sharded trace runner uses.
+    """
+    sketch = QuantileSketch.merged(
+        QuantileSketch.from_dict(report["latency_sketch"])
+        for report in reports
+    )
+    return {
+        "count": sketch.count,
+        "p50_s": sketch.quantile(50.0),
+        "p95_s": sketch.quantile(95.0),
+        "p99_s": sketch.quantile(99.0),
+        "min_s": sketch.min,
+        "max_s": sketch.max,
+        "mean_s": sketch.mean(),
+        "sketch": sketch.to_dict(),
+    }
+
+
 def aggregate_results(
     results: Sequence[Dict[str, object]], campaign: str = ""
 ) -> Dict[str, object]:
@@ -95,12 +123,20 @@ def aggregate_results(
             metrics[metric] = summarize([
                 float(run["report"][report_key]) for run in runs
             ])
-        entries.append({
+        entry = {
             "cell": cells[key],
             "replicates": [run["replicate"] for run in runs],
             "seeds": [run["seed"] for run in runs],
             "metrics": metrics,
-        })
+        }
+        # Sketch-mode runs additionally pool all replicates' latencies
+        # into one exact-merge percentile block.  Exact-mode reports
+        # carry no sketch, so their aggregate bytes are unchanged.
+        if all("latency_sketch" in run["report"] for run in runs):
+            entry["pooled_latency"] = pool_latency_sketches(
+                [run["report"] for run in runs]
+            )
+        entries.append(entry)
     return {
         "schema": REPORT_SCHEMA,
         "campaign": campaign,

@@ -173,6 +173,9 @@ def _cmd_simulate_seeds(args: argparse.Namespace, faults, resilience) -> int:
             invariants=args.check_invariants,
             faults=faults,
             resilience=resilience,
+            metrics_mode=args.metrics_mode,
+            arrival_mode=args.arrival_mode,
+            arrival_window_s=args.arrival_window,
             seed=seed,
         )
         runs.append(RunSpec(
@@ -265,6 +268,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         invariants=args.check_invariants,
         faults=faults,
         resilience=resilience,
+        metrics_mode=args.metrics_mode,
+        arrival_mode=args.arrival_mode,
+        arrival_window_s=args.arrival_window,
         seed=args.seed,
     )
     report = experiment.run()
@@ -549,11 +555,63 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_shard_trace(args: argparse.Namespace) -> int:
+    from repro.campaign import TraceShardConfig, run_trace_shards
+    from repro.workloads import iter_azure_csv
+
+    try:
+        traces = dict(iter_azure_csv(args.csv, limit=args.limit))
+    except (OSError, ValueError) as exc:
+        print(f"cannot load trace csv {args.csv}: {exc}", file=sys.stderr)
+        return 1
+    if not traces:
+        print(f"{args.csv} holds no functions", file=sys.stderr)
+        return 1
+    config = TraceShardConfig(
+        platform=args.platform,
+        servers=args.servers,
+        model=args.model,
+        slo_s=args.slo_ms / 1e3,
+        root_seed=args.seed,
+        arrival_window_s=args.arrival_window,
+    )
+    result = run_trace_shards(
+        traces,
+        config,
+        num_shards=args.shards,
+        workers=args.workers,
+        progress=None if args.quiet else sys.stderr.write,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    report = result["report"]
+    if args.output == "json":
+        payload = {k: v for k, v in report.items() if k != "latency_sketch"}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(format_table(["metric", "value"], [
+        ["functions", report["functions"]],
+        ["shards", result["num_shards"]],
+        ["completed", report["completed"]],
+        ["achieved RPS", f"{report['achieved_rps']:.1f}"],
+        ["SLO violations", f"{report['violation_rate']:.2%}"],
+        ["drops", f"{report['drop_rate']:.2%}"],
+        ["p50 latency", f"{report['latency_p50_s'] * 1e3:.1f} ms"],
+        ["p99 latency", f"{report['latency_p99_s'] * 1e3:.1f} ms"],
+        ["thpt/resource", f"{report['normalized_throughput']:.2f}"],
+    ]))
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     handlers = {
         "run": _cmd_campaign_run,
         "status": _cmd_campaign_status,
         "report": _cmd_campaign_report,
+        "shard-trace": _cmd_campaign_shard_trace,
     }
     return handlers[args.campaign_command](args)
 
@@ -659,6 +717,21 @@ def build_parser() -> argparse.ArgumentParser:
              " findings into the report, strict (the bare-flag default)"
              " aborts on the first",
     )
+    simulate.add_argument(
+        "--metrics-mode", choices=("exact", "sketch"), default="exact",
+        help="sketch streams latencies into a mergeable quantile sketch"
+             " (O(1) memory, <=0.2%% relative error on percentiles)"
+             " instead of keeping per-request records",
+    )
+    simulate.add_argument(
+        "--arrival-mode", choices=("eager", "windowed"), default="eager",
+        help="windowed samples Poisson arrivals one window at a time"
+             " instead of materializing the whole trace up front",
+    )
+    simulate.add_argument(
+        "--arrival-window", type=float, default=60.0, metavar="SECONDS",
+        help="window length for --arrival-mode windowed (default: 60)",
+    )
 
     trace_summary = sub.add_parser(
         "trace-summary",
@@ -744,6 +817,47 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_report.add_argument(
         "--csv", metavar="PATH", default=None,
         help="also write the tidy CSV table here",
+    )
+
+    campaign_shard = campaign_sub.add_parser(
+        "shard-trace",
+        help="simulate a multi-function Azure-layout trace CSV sharded"
+             " across the process pool (sketch metrics, windowed"
+             " arrivals; byte-identical for any worker/shard count)",
+    )
+    campaign_shard.add_argument("csv", help="Azure-layout trace CSV path")
+    campaign_shard.add_argument(
+        "--limit", type=int, default=None,
+        help="only the first N functions of the CSV",
+    )
+    campaign_shard.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = in-process, no pool)",
+    )
+    campaign_shard.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (default: one per worker)",
+    )
+    campaign_shard.add_argument("--platform", default="infless",
+                                choices=sorted(PLATFORMS))
+    campaign_shard.add_argument("--servers", type=int, default=2)
+    campaign_shard.add_argument("--model", default="resnet-50")
+    campaign_shard.add_argument("--slo-ms", type=float, default=200.0)
+    campaign_shard.add_argument("--seed", type=int, default=42)
+    campaign_shard.add_argument(
+        "--arrival-window", type=float, default=60.0, metavar="SECONDS",
+        help="windowed-arrival sampling window (default: 60)",
+    )
+    campaign_shard.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the full result payload (per-function reports"
+             " included) as JSON here",
+    )
+    campaign_shard.add_argument(
+        "--output", choices=("table", "json"), default="table"
+    )
+    campaign_shard.add_argument(
+        "--quiet", action="store_true", help="suppress shard progress",
     )
 
     coldstart = sub.add_parser("coldstart", help="keep-alive policy study")

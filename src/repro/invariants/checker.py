@@ -161,7 +161,9 @@ class InvariantChecker:
         )
         return {
             "arrived": sim.metrics.arrived,
-            "completed": len(sim.metrics.records),
+            # completed_count, not len(records): sketch-mode collectors
+            # keep no record list, only the conservation counters.
+            "completed": sim.metrics.completed_count,
             "dropped": sim.metrics.dropped,
             "parked": parked,
             "queued": queued,
@@ -387,12 +389,12 @@ class InvariantChecker:
         completions = [e for e in events if e.kind == ev.REQUEST_COMPLETE]
         drops = sum(1 for e in events if e.kind == ev.REQUEST_DROP)
         arrivals = sum(1 for e in events if e.kind == ev.REQUEST_ARRIVAL)
-        if len(completions) != len(sim.metrics.records):
+        if len(completions) != sim.metrics.completed_count:
             self._flag(
                 "telemetry_agreement",
                 now,
                 f"tracer saw {len(completions)} completions, metrics"
-                f" recorded {len(sim.metrics.records)}",
+                f" recorded {sim.metrics.completed_count}",
             )
         if drops != sim.metrics.dropped:
             self._flag(
@@ -409,7 +411,7 @@ class InvariantChecker:
                 f" {sim.metrics.arrived}",
             )
         span_total = sum(e.args["latency_s"] for e in completions)
-        record_total = sum(r.latency_s for r in sim.metrics.records)
+        record_total = sim.metrics.latency_total_s
         if abs(span_total - record_total) > TOL * max(1.0, record_total):
             self._flag(
                 "telemetry_agreement",
@@ -552,7 +554,7 @@ class InvariantChecker:
         waiting, running, swapped = sim.sequences_in_system()
         counts = {
             "arrived": sim.metrics.arrived,
-            "completed": len(sim.metrics.records),
+            "completed": sim.metrics.completed_count,
             "dropped": sim.metrics.dropped,
             "waiting": waiting,
             "running": running,

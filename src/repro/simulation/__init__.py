@@ -9,7 +9,13 @@ paper: ``l = t_cold + t_batch + t_exec``.
 
 from repro.simulation.events import Event, EventKind
 from repro.simulation.engine import EventBudgetExceeded, EventLoop
-from repro.simulation.metrics import MetricsCollector, RequestRecord, SimulationReport
+from repro.simulation.metrics import (
+    METRICS_MODES,
+    MetricsCollector,
+    RequestRecord,
+    SimulationReport,
+)
+from repro.simulation.sketches import QuantileSketch
 from repro.simulation.platform import ServingPlatform
 from repro.simulation.runtime import ServingSimulation, Request
 from repro.simulation.coldstart_eval import (
@@ -32,7 +38,9 @@ __all__ = [
     "EventKind",
     "EventBudgetExceeded",
     "EventLoop",
+    "METRICS_MODES",
     "MetricsCollector",
+    "QuantileSketch",
     "RequestRecord",
     "SimulationReport",
     "ServingPlatform",

@@ -11,6 +11,9 @@ class EventKind(enum.Enum):
 
     #: a request arrives at the platform gateway.
     ARRIVAL = "arrival"
+    #: windowed arrival mode: sample and schedule the next window of
+    #: arrivals (keeps the heap O(window), not O(trace)).
+    ARRIVAL_REFILL = "arrival_refill"
     #: a batch queue's waiting deadline fires (flush partial batch).
     BATCH_TIMEOUT = "batch_timeout"
     #: an executing batch finishes.

@@ -65,7 +65,7 @@ from repro.telemetry import (
     Tracer,
     attach_tracer,
 )
-from repro.workloads.arrivals import sample_arrivals
+from repro.workloads.arrivals import sample_arrivals, sample_arrivals_window
 from repro.workloads.trace import Trace
 
 _request_ids = itertools.count()
@@ -209,12 +209,19 @@ class ServingSimulation:
         invariants: Union[None, str, InvariantChecker] = None,
         faults: Union[None, FaultPlan, Dict[str, object], str] = None,
         resilience: Union[None, bool, ResiliencePolicy] = None,
+        metrics_mode: str = "exact",
+        arrival_mode: str = "eager",
+        arrival_window_s: float = 60.0,
         seed: int = 42,
     ) -> None:
         if rate_mode not in ("measured", "oracle"):
             raise ValueError("rate_mode must be 'measured' or 'oracle'")
         if not 0.0 < ewma <= 1.0:
             raise ValueError("ewma must lie in (0, 1]")
+        if arrival_mode not in ("eager", "windowed"):
+            raise ValueError("arrival_mode must be 'eager' or 'windowed'")
+        if arrival_window_s <= 0:
+            raise ValueError("arrival_window_s must be positive")
         self.platform = platform
         self.executor = executor
         self.workload = dict(workload)
@@ -247,7 +254,16 @@ class ServingSimulation:
         self.invariants = resolve_checker(invariants)
         self._rng = np.random.default_rng(seed)
         self.loop = EventLoop()
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(
+            metrics_mode=metrics_mode, warmup_s=warmup_s
+        )
+        self.arrival_mode = arrival_mode
+        self.arrival_window_s = arrival_window_s
+        #: windowed mode: per-function independent arrival streams and
+        #: the start of the next window still to be sampled.
+        self._arrival_rngs: Dict[str, np.random.Generator] = {}
+        self._window_start = 0.0
+        self._ingress_spikes: List[object] = []
         #: requests currently inside an executing batch; the audit
         #: layer's request-conservation ledger needs the exact count.
         self._executing = 0
@@ -301,6 +317,7 @@ class ServingSimulation:
         self._wake_scheduled: Dict[int, float] = {}
         self._horizon = max(trace.duration_s for trace in workload.values())
         self.loop.on(EventKind.ARRIVAL, self._on_arrival)
+        self.loop.on(EventKind.ARRIVAL_REFILL, self._on_arrival_refill)
         self.loop.on(EventKind.BATCH_TIMEOUT, self._on_wake)
         self.loop.on(EventKind.BATCH_COMPLETE, self._on_batch_complete)
         self.loop.on(EventKind.CONTROL_TICK, self._on_control_tick)
@@ -315,23 +332,60 @@ class ServingSimulation:
         # OTP designs route requests through an external buffer layer
         # before they reach the platform; the request's user-visible
         # arrival predates its dispatch by that ingress delay.
-        delay = self._ingress_delay_s
-        spikes = self.faults.ingress_spikes() if self.faults is not None else []
+        self._ingress_spikes = (
+            self.faults.ingress_spikes() if self.faults is not None else []
+        )
+        if self.arrival_mode == "windowed":
+            # Per-function streams derived from the main stream in
+            # sorted-name order: deterministic for a given seed, and
+            # the heap only ever holds one window of arrivals.
+            names = sorted(self.workload)
+            seeds = self._rng.integers(0, 2**63 - 1, size=len(names))
+            self._arrival_rngs = {
+                name: np.random.default_rng(int(seed))
+                for name, seed in zip(names, seeds)
+            }
+            self._window_start = 0.0
+            self.loop.schedule(0.0, EventKind.ARRIVAL_REFILL)
+            return
         for name, trace in self.workload.items():
-            slo = self.platform.function(name).slo_s
-            if self.chains and self.end_to_end_slo_s is not None:
-                slo = self.end_to_end_slo_s
             times = sample_arrivals(trace, self._rng)
-            for t in times:
-                request = Request(function=name, arrival=float(t), slo_s=slo)
-                extra = 0.0
-                if spikes:
-                    for spike in spikes:
-                        if spike.covers(float(t)):
-                            extra += spike.extra_delay_s
-                self.loop.schedule(
-                    float(t) + delay + extra, EventKind.ARRIVAL, request
-                )
+            self._schedule_arrival_times(name, times)
+
+    def _arrival_slo(self, name: str) -> float:
+        slo = self.platform.function(name).slo_s
+        if self.chains and self.end_to_end_slo_s is not None:
+            slo = self.end_to_end_slo_s
+        return slo
+
+    def _schedule_arrival_times(self, name: str, times: np.ndarray) -> None:
+        """Turn sampled arrival instants into heap events."""
+        delay = self._ingress_delay_s
+        spikes = self._ingress_spikes
+        slo = self._arrival_slo(name)
+        for t in times:
+            request = Request(function=name, arrival=float(t), slo_s=slo)
+            extra = 0.0
+            if spikes:
+                for spike in spikes:
+                    if spike.covers(float(t)):
+                        extra += spike.extra_delay_s
+            self.loop.schedule(
+                float(t) + delay + extra, EventKind.ARRIVAL, request
+            )
+
+    def _on_arrival_refill(self, event: Event) -> None:
+        """Sample one window of arrivals and book the next refill."""
+        start = self._window_start
+        end = min(start + self.arrival_window_s, self._horizon)
+        for name in sorted(self.workload):
+            times = sample_arrivals_window(
+                self.workload[name], self._arrival_rngs[name], start, end
+            )
+            self._schedule_arrival_times(name, times)
+        self._window_start = end
+        if end < self._horizon:
+            self.loop.schedule(end, EventKind.ARRIVAL_REFILL)
 
     # ------------------------------------------------------------------
     # arrival path

@@ -16,10 +16,21 @@ from repro.workloads.generators import (
     production_traces,
     timer_invocations,
 )
-from repro.workloads.arrivals import sample_arrivals, merge_arrival_streams
+from repro.workloads.arrivals import (
+    iter_arrival_windows,
+    merge_arrival_streams,
+    sample_arrivals,
+    sample_arrivals_window,
+)
 from repro.workloads.apps import Application, build_osvt, build_qa_robot
 from repro.workloads.coldstart_fleet import coldstart_fleet_invocations
-from repro.workloads.azure import aggregate, load_azure_csv, parse_rows, write_azure_csv
+from repro.workloads.azure import (
+    aggregate,
+    iter_azure_csv,
+    load_azure_csv,
+    parse_rows,
+    write_azure_csv,
+)
 from repro.workloads.seeding import (
     SeedLike,
     as_seed_sequence,
@@ -40,12 +51,15 @@ __all__ = [
     "production_traces",
     "timer_invocations",
     "sample_arrivals",
+    "sample_arrivals_window",
+    "iter_arrival_windows",
     "merge_arrival_streams",
     "Application",
     "build_osvt",
     "build_qa_robot",
     "coldstart_fleet_invocations",
     "aggregate",
+    "iter_azure_csv",
     "load_azure_csv",
     "parse_rows",
     "write_azure_csv",

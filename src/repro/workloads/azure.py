@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +29,26 @@ _META_COLUMNS = 3  # HashApp, HashFunction, Trigger
 
 class AzureTraceError(ValueError):
     """Raised for rows that do not follow the dataset layout."""
+
+
+def _is_header_row(row: List[str]) -> bool:
+    """The dataset header (its count columns are numeric labels)."""
+    return (
+        row[0].lower() == "hashapp" and row[1].lower() == "hashfunction"
+    )
+
+
+def _parse_row(index: int, row: List[str]) -> Tuple[str, Trace]:
+    """One data row -> (``<app>/<function>``, 60-second trace)."""
+    app, function, _trigger = row[:_META_COLUMNS]
+    try:
+        counts = np.array([float(cell) for cell in row[_META_COLUMNS:]])
+    except ValueError:
+        raise AzureTraceError(f"row {index}: non-numeric counts") from None
+    if np.any(counts < 0):
+        raise AzureTraceError(f"row {index}: negative invocation count")
+    name = f"{app}/{function}"
+    return name, Trace(name=name, step_s=AZURE_STEP_S, rps=counts / AZURE_STEP_S)
 
 
 def parse_rows(rows: Iterable[List[str]]) -> Dict[str, Trace]:
@@ -44,41 +64,64 @@ def parse_rows(rows: Iterable[List[str]]) -> Dict[str, Trace]:
             raise AzureTraceError(
                 f"row {index}: expected metadata plus per-minute counts"
             )
-        app, function, _trigger = row[:_META_COLUMNS]
-        if app.lower() == "hashapp" and function.lower() == "hashfunction":
-            continue  # header row (its count columns are numeric labels)
-        try:
-            counts = np.array([float(cell) for cell in row[_META_COLUMNS:]])
-        except ValueError:
-            raise AzureTraceError(f"row {index}: non-numeric counts") from None
-        if np.any(counts < 0):
-            raise AzureTraceError(f"row {index}: negative invocation count")
-        name = f"{app}/{function}"
+        if _is_header_row(row):
+            continue
+        name, trace = _parse_row(index, row)
         if name in traces:
             raise AzureTraceError(f"duplicate function {name!r}")
-        traces[name] = Trace(
-            name=name, step_s=AZURE_STEP_S, rps=counts / AZURE_STEP_S
-        )
+        traces[name] = trace
     return traces
 
 
-def load_azure_csv(path: Path, limit: Optional[int] = None) -> Dict[str, Trace]:
-    """Load an Azure-layout CSV file (optionally only the first rows)."""
+def iter_azure_csv(
+    path: Path, limit: Optional[int] = None
+) -> Iterator[Tuple[str, Trace]]:
+    """Stream ``(name, trace)`` pairs from an Azure-layout CSV.
+
+    Holds one row's trace in memory at a time (plus the set of names
+    already seen, for duplicate detection) -- the constant-memory
+    ingestion path for thousands-of-functions production traces.
+    ``limit`` counts *data* rows; a header row is skipped for free.
+    """
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
-        rows = []
-        for row in reader:
-            rows.append(row)
-            if limit is not None and len(rows) >= limit + 1:
-                break
-    return parse_rows(rows)
+        seen = set()
+        yielded = 0
+        for index, row in enumerate(reader):
+            if limit is not None and yielded >= limit:
+                return
+            if len(row) <= _META_COLUMNS:
+                raise AzureTraceError(
+                    f"row {index}: expected metadata plus per-minute counts"
+                )
+            if _is_header_row(row):
+                continue
+            name, trace = _parse_row(index, row)
+            if name in seen:
+                raise AzureTraceError(f"duplicate function {name!r}")
+            seen.add(name)
+            yield name, trace
+            yielded += 1
+
+
+def load_azure_csv(path: Path, limit: Optional[int] = None) -> Dict[str, Trace]:
+    """Load an Azure-layout CSV file (optionally only the first rows).
+
+    ``limit`` bounds the number of *parsed traces*: a header-less file
+    with ``limit=N`` yields exactly N functions (it used to yield N+1,
+    the cap being applied to raw lines under a header assumption).
+    """
+    return dict(iter_azure_csv(path, limit=limit))
 
 
 def write_azure_csv(path: Path, traces: Dict[str, Trace]) -> None:
     """Write traces in the Azure layout (per-minute counts).
 
-    Traces are resampled onto the 60-second grid by averaging their
-    rates within each minute.
+    Each minute's count is the *integral* of the rate over that minute
+    (cells weighted by their overlap with the minute), so the written
+    counts sum to the trace's ``expected_requests()`` even when
+    ``step_s`` does not divide 60.  An unweighted per-minute average
+    would over- or under-count cells straddling a minute boundary.
     """
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
@@ -100,9 +143,19 @@ def write_azure_csv(path: Path, traces: Dict[str, Trace]) -> None:
                     counts.append(0.0)
                     continue
                 lo = int(start / trace.step_s)
-                hi = max(lo + 1, int(np.ceil(end / trace.step_s)))
-                mean_rate = float(trace.rps[lo:hi].mean())
-                counts.append(round(mean_rate * AZURE_STEP_S, 6))
+                hi = min(
+                    max(lo + 1, int(np.ceil(end / trace.step_s))),
+                    trace.rps.size,
+                )
+                cell_starts = np.arange(lo, hi) * trace.step_s
+                overlaps = np.clip(
+                    np.minimum(end, cell_starts + trace.step_s)
+                    - np.maximum(start, cell_starts),
+                    0.0,
+                    None,
+                )
+                count = float(np.dot(trace.rps[lo:hi], overlaps))
+                counts.append(round(count, 6))
             writer.writerow([app, function or "f", "http"] + counts)
 
 

@@ -57,7 +57,14 @@ class Trace:
         """Arrival rate at absolute time ``t`` (0 outside the trace)."""
         if t < 0 or t >= self.duration_s:
             return 0.0
-        return float(self.rps[int(t / self.step_s)])
+        # duration_s is step_s * size computed in floating point, so for
+        # t just below it the division can round up to rps.size when
+        # step_s has no exact binary representation (0.07, 0.13, ...);
+        # clamp to the last cell instead of raising IndexError.
+        index = int(t / self.step_s)
+        if index >= self.rps.size:
+            index = self.rps.size - 1
+        return float(self.rps[index])
 
     # ------------------------------------------------------------------
     def scaled(self, factor: float) -> "Trace":

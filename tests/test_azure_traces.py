@@ -80,6 +80,52 @@ class TestCsvRoundtrip:
         )
         assert len(load_azure_csv(path, limit=2)) == 2
 
+    def test_load_limit_headerless(self, tmp_path):
+        # Regression: the old loader read header-row + limit rows and
+        # relied on the header being dropped later, so a headerless
+        # CSV returned limit + 1 functions.
+        path = tmp_path / "headerless.csv"
+        with open(path, "w") as handle:
+            for i in range(5):
+                handle.write(f"app,f{i},http,60,120\n")
+        assert len(load_azure_csv(path, limit=2)) == 2
+        assert len(load_azure_csv(path)) == 5
+
+    def test_iter_streams_in_file_order(self, tmp_path):
+        from repro.workloads import iter_azure_csv
+
+        path = tmp_path / "trace.csv"
+        write_azure_csv(
+            path,
+            {f"app/f{i}": constant_trace(1.0, 120.0, step_s=60.0)
+             for i in range(4)},
+        )
+        names = [name for name, _trace in iter_azure_csv(path)]
+        assert names == sorted(names)
+        assert len(names) == 4
+
+    def test_iter_duplicate_rejected(self, tmp_path):
+        from repro.workloads import iter_azure_csv
+
+        path = tmp_path / "dup.csv"
+        with open(path, "w") as handle:
+            handle.write("app,fn,http,60,120\n")
+            handle.write("app,fn,http,1,1\n")
+        with pytest.raises(AzureTraceError):
+            list(iter_azure_csv(path))
+
+    def test_roundtrip_preserves_expected_requests(self, tmp_path):
+        # Regression: minute resampling used to sample the rate at
+        # each minute boundary instead of integrating over it, so a
+        # step_s that does not divide 60 (here 7 s) lost requests.
+        trace = bursty_trace(2.0, 280.0, step_s=7.0, seed=11)
+        path = tmp_path / "seven.csv"
+        write_azure_csv(path, {"app/f": trace})
+        restored = load_azure_csv(path)["app/f"]
+        assert restored.expected_requests() == pytest.approx(
+            trace.expected_requests(), rel=1e-6
+        )
+
     def test_resamples_finer_traces(self, tmp_path):
         fine = {"app/f": constant_trace(3.0, 120.0, step_s=1.0)}
         path = tmp_path / "trace.csv"

@@ -121,3 +121,56 @@ class TestSimulateOutputs:
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
         assert main(["trace-summary", str(empty)]) == 1
+
+
+class TestScaleOutFlags:
+    def test_metrics_mode_parses(self):
+        args = build_parser().parse_args(["simulate", "--metrics-mode",
+                                          "sketch"])
+        assert args.metrics_mode == "sketch"
+        assert args.arrival_mode == "eager"
+
+    def test_unknown_metrics_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--metrics-mode", "fuzzy"])
+
+    def test_simulate_sketch_json(self, capsys, predictor):
+        import json
+
+        assert main(
+            ["simulate", "--model", "mnist", "--rps", "50", "--duration",
+             "30", "--slo-ms", "100", "--metrics-mode", "sketch",
+             "--arrival-mode", "windowed", "--arrival-window", "10",
+             "--output", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics_mode"] == "sketch"
+        assert payload["latency_sketch"]["bins"]
+
+    def test_shard_trace_roundtrip(self, capsys, predictor, tmp_path):
+        import json
+
+        from repro.workloads import constant_trace
+        from repro.workloads.azure import write_azure_csv
+
+        path = tmp_path / "mini.csv"
+        write_azure_csv(
+            path,
+            {f"app/f{i}": constant_trace(2.0, 180.0, step_s=60.0)
+             for i in range(3)},
+        )
+        out_path = tmp_path / "result.json"
+        assert main(
+            ["campaign", "shard-trace", str(path), "--servers", "1",
+             "--quiet", "--output", "json", "--out", str(out_path)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["functions"] == 3
+        assert payload["completed"] > 0
+        stored = json.loads(out_path.read_text())
+        assert len(stored["per_function"]) == 3
+
+    def test_shard_trace_missing_csv(self, capsys):
+        assert main(
+            ["campaign", "shard-trace", "/nonexistent/trace.csv", "--quiet"]
+        ) == 1

@@ -1,0 +1,95 @@
+"""Sketch-mode memory stays flat in request count (scale-out smoke).
+
+The point of ``metrics_mode="sketch"`` is O(1)-in-requests collector
+memory.  Each case runs in a fresh subprocess (so the parent's heap
+cannot mask growth) and reports its peak RSS; a 10x spread in
+completions must not move peak RSS materially.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+_DRIVER = r"""
+import json
+import resource
+import sys
+
+from repro.simulation.metrics import MetricsCollector, RequestRecord
+
+n = int(sys.argv[1])
+metrics = MetricsCollector(metrics_mode="sketch")
+for index in range(n):
+    now = index * 1e-3
+    metrics.record_arrival(now)
+    record = RequestRecord(
+        function="fn-%d" % (index % 50),
+        arrival=now,
+        completion=now + 0.01 + (index % 977) * 1e-4,
+        cold_wait_s=0.0,
+        queue_wait_s=0.005,
+        exec_s=0.005,
+        batch_size=1 + index % 8,
+        config=(8, 2, 20),
+        slo_s=0.2,
+    )
+    metrics.record_completion(record)
+    if index % 100 == 0:
+        metrics.record_usage(now, 40.0, 8.0, 50.0, 0.1)
+report = metrics.finalize(duration_s=n * 1e-3)
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "peak_kb": peak_kb,
+    "completed": report.completed,
+    "p99": report.latency_p99_s,
+}))
+"""
+
+
+def _run_case(completions):
+    result = subprocess.run(
+        [sys.executable, "-c", _DRIVER, str(completions)],
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=300,
+    )
+    return json.loads(result.stdout)
+
+
+def test_sketch_rss_flat_from_1e5_to_1e6():
+    small = _run_case(100_000)
+    large = _run_case(1_000_000)
+    assert small["completed"] == 100_000
+    assert large["completed"] == 1_000_000
+    assert large["p99"] > 0.0
+    # 10x the requests, essentially the same footprint.  Absolute
+    # deltas, not ratios: the interpreter's import baseline dominates
+    # peak RSS and varies run to run, the collector's share must not.
+    grown_mb = (large["peak_kb"] - small["peak_kb"]) / 1024.0
+    assert grown_mb < 30.0, (
+        f"sketch-mode peak RSS grew {grown_mb:.0f}MB over a 10x"
+        f" request spread"
+    )
+
+
+def test_exact_mode_would_grow():
+    """The flatness test is sensitive: the same driver in exact mode
+    over the same spread does grow (records are retained)."""
+    driver = _DRIVER.replace('metrics_mode="sketch"', 'metrics_mode="exact"')
+    small = json.loads(
+        subprocess.run(
+            [sys.executable, "-c", driver, "50000"],
+            capture_output=True, text=True, check=True, timeout=300,
+        ).stdout
+    )
+    large = json.loads(
+        subprocess.run(
+            [sys.executable, "-c", driver, "500000"],
+            capture_output=True, text=True, check=True, timeout=300,
+        ).stdout
+    )
+    # 450k retained RequestRecords are well over 50MB.
+    assert (large["peak_kb"] - small["peak_kb"]) / 1024.0 > 50.0

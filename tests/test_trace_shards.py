@@ -1,0 +1,165 @@
+"""Tests for sharded multi-function trace replays (repro.campaign.shards)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    TraceShardConfig,
+    aggregate_results,
+    execute_trace_shard,
+    function_seed,
+    merge_function_results,
+    plan_shards,
+    run_trace_shards,
+)
+from repro.workloads.trace import Trace
+
+
+def make_traces(count=6, seed=7, cells=8, step_s=10.0):
+    rng = np.random.default_rng(seed)
+    return {
+        f"fn-{index:03d}": Trace(
+            name=f"fn-{index:03d}",
+            rps=rng.uniform(0.5, 5.0, size=cells),
+            step_s=step_s,
+        )
+        for index in range(count)
+    }
+
+
+CONFIG = TraceShardConfig(servers=1, root_seed=99)
+
+
+class TestPlanning:
+    def test_contiguous_sorted_cover(self):
+        shards = plan_shards(["c", "a", "b", "e", "d"], 2)
+        assert [name for shard in shards for name in shard] == [
+            "a", "b", "c", "d", "e",
+        ]
+
+    def test_more_shards_than_functions(self):
+        shards = plan_shards(["b", "a"], 10)
+        assert len(shards) == 2
+
+    def test_empty(self):
+        assert plan_shards([], 3) == []
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            plan_shards(["a"], 0)
+
+
+class TestSeeds:
+    def test_seed_depends_on_name_not_position(self):
+        assert function_seed(1, "fn-a") != function_seed(1, "fn-b")
+        assert function_seed(1, "fn-a") == function_seed(1, "fn-a")
+
+    def test_seed_depends_on_root(self):
+        assert function_seed(1, "fn-a") != function_seed(2, "fn-a")
+
+
+class TestByteIdentity:
+    def test_any_sharding_same_bytes(self):
+        traces = make_traces()
+        one = run_trace_shards(traces, CONFIG, num_shards=1)
+        many = run_trace_shards(traces, CONFIG, num_shards=4)
+        scrambled = run_trace_shards(
+            dict(reversed(list(traces.items()))), CONFIG, num_shards=3
+        )
+        payloads = [
+            # Everything but the sharding metadata itself must be
+            # byte-identical across shard counts and input orders.
+            json.dumps(
+                {k: v for k, v in result.items() if k != "num_shards"},
+                sort_keys=True,
+            )
+            for result in (one, many, scrambled)
+        ]
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_pool_matches_serial(self):
+        traces = make_traces(count=4)
+        serial = run_trace_shards(traces, CONFIG, num_shards=2, workers=1)
+        pooled = run_trace_shards(traces, CONFIG, num_shards=2, workers=2)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            pooled, sort_keys=True
+        )
+
+
+class TestMerge:
+    def test_counts_sum_and_sketch_pools(self):
+        traces = make_traces(count=3)
+        shard = {
+            "config": CONFIG.to_dict(),
+            "functions": [
+                [name, trace.to_dict()] for name, trace in traces.items()
+            ],
+        }
+        results = execute_trace_shard(shard)
+        merged = merge_function_results(results)
+        assert merged["completed"] == sum(
+            r["report"]["completed"] for r in results
+        )
+        assert merged["functions"] == 3
+        assert merged["latency_sketch"]["bins"]
+        assert (
+            merged["latency_min_s"]
+            <= merged["latency_p50_s"]
+            <= merged["latency_p99_s"]
+            <= merged["latency_max_s"]
+        )
+        assert set(merged["per_function_violation"]) == set(traces)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_function_results([])
+
+    def test_duplicate_function_rejected(self):
+        traces = make_traces(count=1)
+        shard = {
+            "config": CONFIG.to_dict(),
+            "functions": [
+                [name, trace.to_dict()] for name, trace in traces.items()
+            ],
+        }
+        results = execute_trace_shard(shard)
+        with pytest.raises(ValueError):
+            merge_function_results(results + results)
+
+
+class TestInputValidation:
+    def test_no_traces_rejected(self):
+        with pytest.raises(ValueError):
+            run_trace_shards({}, CONFIG)
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_trace_shards(make_traces(count=1), CONFIG, workers=0)
+
+
+class TestPooledAggregate:
+    def test_sketch_campaign_gains_pooled_block(self):
+        traces = make_traces(count=2)
+        shard = {
+            "config": CONFIG.to_dict(),
+            "functions": [
+                [name, trace.to_dict()] for name, trace in traces.items()
+            ],
+        }
+        results = [
+            {
+                "cell": {"platform": "infless"},
+                "replicate": index,
+                "seed": payload["seed"],
+                "report": payload["report"],
+            }
+            for index, payload in enumerate(execute_trace_shard(shard))
+        ]
+        report = aggregate_results(results, campaign="shard-test")
+        pooled = report["cells"][0]["pooled_latency"]
+        assert pooled["count"] == sum(
+            r["report"]["completed"] for r in results
+        )
+        assert pooled["p50_s"] <= pooled["p99_s"] <= pooled["max_s"]

@@ -30,6 +30,30 @@ class TestTrace:
         assert trace.rps_at(4.1) == 0.0  # past the end
         assert trace.rps_at(-1.0) == 0.0
 
+    def test_rps_at_float_rounding_near_duration(self):
+        # Regression: 9 * 0.07 accumulates upward in float, so
+        # t = 0.63 - eps computed as 0.09 * 7 lands with
+        # int(t / step_s) == 9, one past the last cell -- formerly an
+        # IndexError instead of the final cell's rate.
+        trace = Trace("t", step_s=0.07, rps=np.arange(1.0, 10.0))
+        t = 0.09 * 7  # 0.6299999999999999 < duration
+        assert t < trace.duration_s
+        assert trace.rps_at(t) == 9.0
+
+    @given(
+        step=st.floats(0.01, 5.0, allow_nan=False, allow_infinity=False),
+        cells=st.integers(1, 50),
+        frac=st.floats(0.0, 1.0, exclude_max=True),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_rps_at_never_raises_inside_duration(self, step, cells, frac):
+        trace = Trace("t", step_s=step, rps=np.arange(1.0, cells + 1.0))
+        t = frac * trace.duration_s
+        if t >= trace.duration_s:  # frac*duration can round up
+            return
+        value = trace.rps_at(t)
+        assert 1.0 <= value <= float(cells)
+
     def test_duration_and_mean(self):
         trace = Trace("t", step_s=2.0, rps=np.array([1.0, 3.0]))
         assert trace.duration_s == 4.0
