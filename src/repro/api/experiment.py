@@ -35,6 +35,10 @@ from repro.workloads.trace import Trace
 #: version tag of the :meth:`Experiment.to_spec` schema.
 SPEC_SCHEMA = 1
 
+#: simulation engines: discrete-event ground truth, the continuous
+#: fluid approximation, or the hybrid top-K-discrete split.
+ENGINES = ("des", "fluid", "hybrid")
+
 #: registry name -> platform class; every entry follows the normalized
 #: ``(cluster, predictor, *, name, seed, ...)`` constructor shape.
 PLATFORMS: Dict[str, type] = {
@@ -114,6 +118,14 @@ class Experiment:
             :class:`~repro.telemetry.TimelineRecorder`.
         invariants: audit mode (``"off"``/``"collect"``/``"strict"``)
             or a pre-built checker; None resolves the process default.
+        engine: ``"des"`` (default) replays every request through the
+            discrete event loop; ``"fluid"`` integrates the
+            continuous-time approximation
+            (:class:`~repro.fluid.FluidSimulation`); ``"hybrid"``
+            simulates the ``hot_k`` hottest functions discretely and
+            routes the tail through the fluid path.  See
+            ``docs/fluid-model.md`` for the accuracy envelope.
+        hot_k: hybrid-mode partition size (ignored by other engines).
 
     The remaining keyword arguments mirror
     :class:`~repro.simulation.runtime.ServingSimulation` exactly.
@@ -147,6 +159,8 @@ class Experiment:
         metrics_mode: str = "exact",
         arrival_mode: str = "eager",
         arrival_window_s: float = 60.0,
+        engine: str = "des",
+        hot_k: int = 1,
     ) -> None:
         self._platform_spec = platform
         self.workload = dict(workload)
@@ -185,6 +199,14 @@ class Experiment:
         self.metrics_mode = metrics_mode
         self.arrival_mode = arrival_mode
         self.arrival_window_s = arrival_window_s
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        if hot_k < 0:
+            raise ValueError("hot_k must be >= 0")
+        self.engine = engine
+        self.hot_k = hot_k
         self.platform = None
         self.simulation: Union[None, ServingSimulation, LLMSimulation] = None
         self.report: Optional[SimulationReport] = None
@@ -221,6 +243,9 @@ class Experiment:
         gets the single-shot :class:`ServingSimulation`.
         """
         if self.simulation is not None:
+            return self.simulation
+        if self.engine != "des":
+            self.simulation = self._build_fluid_engine()
             return self.simulation
         self.platform = self._resolve_platform()
         if self.functions is not None:
@@ -274,6 +299,78 @@ class Experiment:
             seed=self.seed,
         )
         return self.simulation
+
+    def _build_fluid_engine(self):
+        """Assemble the fluid or hybrid simulation.
+
+        Both paths serve single-shot workloads on the INFless control
+        laws; features that only exist in the discrete event loop
+        (chaos plans, resilience retries, telemetry spans, chains,
+        windowed arrivals) are rejected loudly rather than silently
+        ignored.
+        """
+        from repro.fluid import FluidSimulation, HybridSimulation
+
+        if self._platform_spec != "infless":
+            raise ValueError(
+                f"engine={self.engine!r} models the INFless control laws;"
+                " use platform='infless' (baselines run engine='des')"
+            )
+        if self.functions is None:
+            raise ValueError(
+                f"engine={self.engine!r} needs explicit function specs"
+            )
+        unsupported = [
+            label
+            for label, value in (
+                ("faults", self.faults),
+                ("resilience", self.resilience),
+                ("telemetry", self.tracer),
+                ("timeline", self.timeline),
+                ("chains", self.chains),
+            )
+            if value
+        ]
+        if unsupported:
+            raise ValueError(
+                f"engine={self.engine!r} does not support:"
+                f" {', '.join(unsupported)} (discrete-event only)"
+            )
+        if self.arrival_mode != "eager":
+            raise ValueError(
+                f"engine={self.engine!r} reads rates straight off the"
+                " trace; windowed arrivals only apply to engine='des'"
+            )
+        if self.engine == "fluid":
+            return FluidSimulation(
+                functions=self.functions,
+                workload=self.workload,
+                predictor=self.predictor,
+                executor=self.executor,
+                control_interval_s=self.control_interval_s,
+                warmup_s=self.warmup_s,
+                ewma=self.ewma,
+                pending_cap=self.pending_cap,
+                invariants=self.invariants,
+                seed=self.seed,
+                rate_mode=self.rate_mode,
+            )
+        return HybridSimulation(
+            functions=self.functions,
+            workload=self.workload,
+            hot_k=self.hot_k,
+            platform=self._platform_spec,
+            servers=self.servers,
+            predictor=self.predictor,
+            executor=self.executor,
+            control_interval_s=self.control_interval_s,
+            warmup_s=self.warmup_s,
+            ewma=self.ewma,
+            pending_cap=self.pending_cap,
+            invariants=self.invariants,
+            seed=self.seed,
+            rate_mode=self.rate_mode,
+        )
 
     def run(self) -> SimulationReport:
         """Build if needed, replay the workload, return the report."""
@@ -366,6 +463,9 @@ class Experiment:
         if self.arrival_mode != "eager":
             spec["arrival_mode"] = self.arrival_mode
             spec["arrival_window_s"] = self.arrival_window_s
+        if self.engine != "des":
+            spec["engine"] = self.engine
+            spec["hot_k"] = self.hot_k
         return spec
 
     @classmethod
@@ -419,4 +519,6 @@ class Experiment:
             metrics_mode=spec.get("metrics_mode", "exact"),
             arrival_mode=spec.get("arrival_mode", "eager"),
             arrival_window_s=spec.get("arrival_window_s", 60.0),
+            engine=spec.get("engine", "des"),
+            hot_k=spec.get("hot_k", 1),
         )

@@ -20,6 +20,13 @@ from repro.bench.harness import BenchResult, measure
 #: mean RPS of the Fig. 12 macro trace replay.
 FIG12_MEAN_RPS = 300.0
 
+#: mean RPS of the fluid Fig. 12 replay: the fluid engine's step cost
+#: is O(ticks x functions), independent of request volume, so the
+#: macro benchmark runs the same shape at 100x the discrete operating
+#: point -- the million-user-scale regime a per-request event loop
+#: cannot reach.
+FIG12_FLUID_RPS = 30_000.0
+
 #: fleet sizes swept by the Fig. 18 macro benchmark.
 FIG18_COUNTS_QUICK: Sequence[int] = (10, 20)
 FIG18_COUNTS_FULL: Sequence[int] = (10, 20, 30, 40)
@@ -163,6 +170,32 @@ def bench_sketch_metrics(quick: bool = False) -> int:
     return merged.count
 
 
+def bench_fluid_step(quick: bool = False) -> int:
+    """`FunctionFluid.step` churn: the fluid engine's only hot path.
+
+    Integrates one function's fluid state vector over a long constant
+    trace, so the measured cost is the per-tick control + flow + atom
+    emission work (there is no per-request cost to hide behind);
+    returns the Euler steps taken.
+    """
+    from repro.core import FunctionSpec
+    from repro.fluid.engine import FluidSimulation
+    from repro.profiling import build_default_predictor
+    from repro.workloads import constant_trace
+
+    ticks = 1_000 if quick else 5_000
+    function = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+    sim = FluidSimulation(
+        functions=[function],
+        workload={function.name: constant_trace(200.0, float(ticks))},
+        predictor=build_default_predictor(),
+        invariants="off",
+        seed=7,
+    )
+    sim.run()
+    return sim.steps
+
+
 def bench_invariant_tick(quick: bool = False) -> int:
     """Cost of one conservation-audit control tick, repeated.
 
@@ -219,6 +252,49 @@ def bench_fig12_trace(quick: bool = False) -> int:
     )
     experiment.run()
     return experiment.simulation.loop.processed
+
+
+def bench_fig12_fluid(quick: bool = False) -> int:
+    """The Fig. 12 replay through the fluid engine, at 100x the load.
+
+    Same application, trace shape, warmup and seed as
+    :func:`bench_fig12_trace`, but with the mean rps raised to
+    :data:`FIG12_FLUID_RPS` and the continuous-time engine doing the
+    serving: the fluid step cost does not grow with request volume, so
+    the effective events per second (arrivals + completions + drops a
+    discrete replay would have heap-processed) demonstrate the >=100x
+    throughput headroom the hybrid engine's tail path relies on.
+    """
+    from repro.api import Experiment
+    from repro.profiling import build_default_predictor
+    from repro.workloads import build_osvt
+    from repro.workloads.generators import bursty_trace
+
+    duration_s = 60.0 if quick else 240.0
+    trace = bursty_trace(
+        FIG12_FLUID_RPS,
+        duration_s,
+        period_s=duration_s,
+        burst_rate_per_hour=30.0,
+        burst_duration_s=30.0,
+        seed=22,
+    )
+    app = build_osvt()
+    experiment = Experiment(
+        platform="infless",
+        predictor=build_default_predictor(),
+        functions=app.functions,
+        workload={
+            name: trace.with_mean(rps)
+            for name, rps in app.rps_split(trace.mean_rps).items()
+        },
+        warmup_s=10.0,
+        invariants="off",
+        engine="fluid",
+        seed=5,
+    )
+    experiment.run()
+    return experiment.simulation.effective_events
 
 
 def bench_fig18_largescale(quick: bool = False) -> int:
@@ -281,11 +357,13 @@ MICRO_BENCHMARKS: Dict[str, Callable[[bool], int]] = {
     "batch_queue": bench_batch_queue,
     "sketch_metrics": bench_sketch_metrics,
     "llm_decode": bench_llm_decode,
+    "fluid_step": bench_fluid_step,
     "invariant_tick": bench_invariant_tick,
 }
 
 MACRO_BENCHMARKS: Dict[str, Callable[[bool], int]] = {
     "fig12_trace": bench_fig12_trace,
+    "fig12_fluid": bench_fig12_fluid,
     "fig18_largescale": bench_fig18_largescale,
 }
 

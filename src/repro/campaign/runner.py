@@ -128,6 +128,7 @@ class CampaignOutcome:
 
     @property
     def ok(self) -> bool:
+        """True when every executed run succeeded."""
         return not self.failed
 
 
@@ -145,6 +146,7 @@ class _Progress:
         self.started = time.monotonic()
 
     def update(self, *, failed: bool = False) -> None:
+        """Count one finished run and redraw the progress line."""
         self.done += 1
         if failed:
             self.failed += 1
@@ -161,6 +163,7 @@ class _Progress:
         )
 
     def finish(self) -> None:
+        """Terminate the live line once the campaign is done."""
         if self.emit is not None and self.total:
             self.emit("\n")
 
@@ -389,6 +392,7 @@ def default_progress(stream=None) -> Callable[[str], None]:
     target = stream if stream is not None else sys.stderr
 
     def emit(text: str) -> None:
+        """Write one progress fragment and flush immediately."""
         target.write(text)
         target.flush()
 

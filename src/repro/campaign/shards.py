@@ -82,10 +82,12 @@ class TraceShardConfig:
     control_interval_s: float = 1.0
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of this shard configuration."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "TraceShardConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
         return cls(**payload)
 
 

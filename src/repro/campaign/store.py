@@ -118,9 +118,11 @@ class CampaignStore:
         return json.loads(path.read_text(encoding="utf-8"))
 
     def write_manifest(self, manifest: Dict[str, object]) -> Path:
+        """Write the campaign manifest at its well-known name."""
         return self.write_json("manifest.json", manifest)
 
     def read_manifest(self) -> Optional[Dict[str, object]]:
+        """Read the campaign manifest, or ``None`` before first write."""
         return self.read_json("manifest.json")
 
     def write_text(self, name: str, text: str) -> Path:

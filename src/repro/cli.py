@@ -256,24 +256,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.seeds:
         return _cmd_simulate_seeds(args, faults, resilience)
     function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
-    experiment = Experiment(
-        platform=args.platform,
-        servers=args.servers,
-        functions=[function],
-        workload={function.name: constant_trace(args.rps, args.duration)},
-        platform_options=_platform_options(args),
-        warmup_s=min(20.0, args.duration / 4),
-        telemetry=bool(args.trace_out or args.chrome_trace_out),
-        timeline=bool(args.timeline_out or args.chrome_trace_out),
-        invariants=args.check_invariants,
-        faults=faults,
-        resilience=resilience,
-        metrics_mode=args.metrics_mode,
-        arrival_mode=args.arrival_mode,
-        arrival_window_s=args.arrival_window,
-        seed=args.seed,
-    )
-    report = experiment.run()
+    try:
+        experiment = Experiment(
+            platform=args.platform,
+            servers=args.servers,
+            functions=[function],
+            workload={function.name: constant_trace(args.rps, args.duration)},
+            platform_options=_platform_options(args),
+            warmup_s=min(20.0, args.duration / 4),
+            telemetry=bool(args.trace_out or args.chrome_trace_out),
+            timeline=bool(args.timeline_out or args.chrome_trace_out),
+            invariants=args.check_invariants,
+            faults=faults,
+            resilience=resilience,
+            metrics_mode=args.metrics_mode,
+            arrival_mode=args.arrival_mode,
+            arrival_window_s=args.arrival_window,
+            seed=args.seed,
+            engine=args.engine,
+            hot_k=args.hot_k,
+        )
+        report = experiment.run()
+    except ValueError as exc:
+        # Unsupported knob combinations (e.g. --engine fluid with
+        # faults or telemetry) are rejected with the reason.
+        print(f"cannot run: {exc}", file=sys.stderr)
+        return 1
     tracer = experiment.tracer
     timeline = experiment.timeline
     if report.invariant_violations:
@@ -616,6 +624,67 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return handlers[args.campaign_command](args)
 
 
+def _cmd_fluid_validate(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fluid.validate import (
+        FIG12_VALIDATION_RPS,
+        cross_validate,
+        write_envelope,
+    )
+
+    if args.points:
+        try:
+            points = tuple(
+                float(part) for part in args.points.split(",") if part
+            )
+        except ValueError:
+            print(f"bad --points {args.points!r}: expected R1,R2,...",
+                  file=sys.stderr)
+            return 1
+    else:
+        points = FIG12_VALIDATION_RPS
+    duration = args.duration
+    if args.quick:
+        duration = min(duration, 60.0)
+        if not args.points:
+            points = (150.0, 300.0, 450.0)
+    payload = cross_validate(
+        points, duration,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    if args.out != "-":
+        target = write_envelope(
+            payload, Path(args.out) if args.out else None
+        )
+        print(f"wrote {target}", file=sys.stderr)
+    envelope = payload["envelope"]
+    if args.output == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [
+                f"{point['rps']:g}",
+                f"{point['goodput_rel_err']:.2%}",
+                f"{point['p50_rel_err']:.2%}",
+                f"{point['p99_rel_err']:.2%}",
+                f"{point['violation_abs_err']:.4f}",
+            ]
+            for point in payload["points"]
+        ]
+        print(format_table(
+            ["mean rps", "goodput err", "p50 err", "p99 err", "viol err"],
+            rows,
+        ))
+        print(
+            f"envelope: goodput <= {envelope['goodput_rel_err_max']:.2%}"
+            f" (bound {envelope['goodput_bound']:.0%}),"
+            f" p99 <= {envelope['p99_rel_err_max']:.2%}"
+            f" (bound {envelope['p99_bound']:.0%})"
+        )
+    return 0 if envelope["within_bounds"] else 1
+
+
 def _cmd_coldstart(args: argparse.Namespace) -> int:
     fleet = coldstart_fleet_invocations(duration_s=args.days * 86400.0)
     policies = [
@@ -731,6 +800,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--arrival-window", type=float, default=60.0, metavar="SECONDS",
         help="window length for --arrival-mode windowed (default: 60)",
+    )
+    simulate.add_argument(
+        "--engine", choices=("des", "fluid", "hybrid"), default="des",
+        help="simulation engine: per-request discrete events (des, the"
+             " default), the O(functions) continuous fluid"
+             " approximation, or hybrid (top --hot-k functions"
+             " discrete, the tail fluid); see docs/fluid-model.md",
+    )
+    simulate.add_argument(
+        "--hot-k", type=int, default=1, metavar="K",
+        help="hybrid only: how many of the hottest functions run on"
+             " the discrete engine (default: 1)",
     )
 
     trace_summary = sub.add_parser(
@@ -860,6 +941,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress shard progress",
     )
 
+    fluid_validate = sub.add_parser(
+        "fluid-validate",
+        help="cross-validate the fluid engine against DES (Fig. 12)",
+    )
+    fluid_validate.add_argument(
+        "--points", metavar="R1,R2,...", default=None,
+        help="mean-rps operating points (default: the Fig. 12 axis"
+             " 150,225,300,375,450)",
+    )
+    fluid_validate.add_argument(
+        "--duration", type=float, default=240.0, metavar="SECONDS",
+        help="horizon per operating point (default: 240)",
+    )
+    fluid_validate.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizes: 60s horizon and three operating points",
+    )
+    fluid_validate.add_argument(
+        "--out", "--output-file", dest="out", metavar="PATH", default=None,
+        help="where to write the envelope artifact (default:"
+             " benchmarks/results/fluid_envelope.json; '-' skips"
+             " writing)",
+    )
+    fluid_validate.add_argument(
+        "--output", choices=("table", "json"), default="table",
+        help="report format: human table or the full envelope JSON",
+    )
+
     coldstart = sub.add_parser("coldstart", help="keep-alive policy study")
     coldstart.add_argument("--days", type=float, default=2.0)
     coldstart.add_argument("--gamma", type=float, default=0.5)
@@ -878,6 +987,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "capacity": _cmd_capacity,
     "simulate": _cmd_simulate,
+    "fluid-validate": _cmd_fluid_validate,
     "trace-summary": _cmd_trace_summary,
     "bench": _cmd_bench,
     "campaign": _cmd_campaign,

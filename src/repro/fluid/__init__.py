@@ -1,0 +1,38 @@
+"""repro.fluid -- the continuous-time fluid approximation engine.
+
+Evolves per-function state vectors (arrival rate, queue depth,
+warm/cold instance counts) with an explicit-Euler step loop instead of
+simulating individual requests, reproducing the Eq. 1 capacity
+constraints and the keep-alive windows as flow balances.  The cost per
+simulated second is O(functions), independent of the request rate,
+which is what makes million-user operating points tractable; the
+discrete-event engine stays as ground truth (see
+``docs/fluid-model.md`` for the model and its measured error
+envelope).
+"""
+
+from repro.fluid.engine import FluidSimulation, report_from_merged
+from repro.fluid.hybrid import HybridSimulation, partition_functions
+from repro.fluid.model import CapacityLadder, ConfigRow, FunctionFluid
+from repro.fluid.validate import (
+    FIG12_VALIDATION_RPS,
+    cross_validate,
+    fig12_experiment,
+    load_envelope,
+    write_envelope,
+)
+
+__all__ = [
+    "CapacityLadder",
+    "ConfigRow",
+    "FIG12_VALIDATION_RPS",
+    "FluidSimulation",
+    "FunctionFluid",
+    "HybridSimulation",
+    "cross_validate",
+    "fig12_experiment",
+    "load_envelope",
+    "partition_functions",
+    "report_from_merged",
+    "write_envelope",
+]

@@ -630,6 +630,79 @@ class InvariantChecker:
             )
 
     # ------------------------------------------------------------------
+    # fluid-engine audits (flow conservation over a ledger dict)
+    # ------------------------------------------------------------------
+    def check_fluid_tick(
+        self, name: str, ledger: Dict[str, float], now: float
+    ) -> None:
+        """The per-step audit of one function's fluid state vector.
+
+        The fluid engine has no request objects to count, so the audit
+        works on its flow ledger: cumulative arrivals must equal served
+        + dropped + still-queued mass (conservation), every state
+        variable must be non-negative, and the FIFO arrival clock must
+        agree with the queue-depth integrator.
+        """
+        if not self.enabled:
+            return
+        arrived = ledger["arrived"]
+        served = ledger["served"]
+        dropped = ledger["dropped"]
+        queued = ledger["queued"]
+        balance = arrived - (served + dropped + queued)
+        tolerance = 1e-6 * max(1.0, arrived)
+        if abs(balance) > tolerance:
+            self._flag(
+                "fluid_flow_conservation",
+                now,
+                f"{name}: arrival mass leaked {balance:+.6f} requests"
+                f" (arrived={arrived:.3f}, served={served:.3f},"
+                f" dropped={dropped:.3f}, queued={queued:.3f})",
+                function=name,
+                balance=balance,
+            )
+        for variable in ("queued", "served", "dropped", "capacity_rps",
+                         "rate_estimate", "active", "launching",
+                         "warm_pool"):
+            if ledger[variable] < -1e-9:
+                self._flag(
+                    "fluid_nonnegative_state",
+                    now,
+                    f"{name}: state variable {variable} went negative"
+                    f" ({ledger[variable]:.6f})",
+                    function=name,
+                    variable=variable,
+                )
+        clock = ledger["clock_pending"]
+        if abs(clock - queued) > tolerance:
+            self._flag(
+                "fluid_flow_conservation",
+                now,
+                f"{name}: FIFO arrival clock holds {clock:.3f} requests"
+                f" but the queue integrator holds {queued:.3f}",
+                function=name,
+                clock_pending=clock,
+                queued=queued,
+            )
+
+    def check_fluid_final(self, name: str, ledger: Dict[str, float]) -> None:
+        """The end-of-run audit of one function's fluid state."""
+        if not self.enabled:
+            return
+        self.check_fluid_tick(name, ledger, ledger.get("now", -1.0))
+        if ledger["active"] == 0 and ledger["served"] > 0 and (
+            ledger["queued"] > 1e-6
+        ):
+            self._flag(
+                "fluid_flow_conservation",
+                -1.0,
+                f"{name}: {ledger['queued']:.3f} requests stranded in the"
+                " fluid queue with no active instances after the horizon",
+                function=name,
+                queued=ledger["queued"],
+            )
+
+    # ------------------------------------------------------------------
     # entry points called by the runtime
     # ------------------------------------------------------------------
     def check_tick(self, sim: object, now: float) -> None:

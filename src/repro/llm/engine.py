@@ -143,11 +143,13 @@ class LLMWorker:
     # ------------------------------------------------------------------
     @property
     def kv_free_tokens(self) -> int:
+        """KV tokens still allocatable (own budget vs device memory)."""
         own = self.kv_capacity_tokens - self.kv_resident_tokens
         shared = self.spec.kv_capacity_tokens(self.device.memory_free_mb)
         return min(own, shared)
 
     def kv_acquire(self, tokens: int) -> None:
+        """Reserve KV cache for ``tokens``, mirrored on the device."""
         self.device.kv_acquire(tokens, self.spec.kv_mb_per_token)
         self.kv_resident_tokens += tokens
         self.kv_acquired_total += tokens
@@ -155,6 +157,7 @@ class LLMWorker:
             self.kv_peak_tokens = self.kv_resident_tokens
 
     def kv_release(self, tokens: int) -> None:
+        """Return KV cache; raises when releasing more than resident."""
         if tokens > self.kv_resident_tokens:
             raise AllocationError(
                 f"worker {self.worker_id}: releasing {tokens} KV tokens,"
@@ -167,13 +170,16 @@ class LLMWorker:
     # ------------------------------------------------------------------
     @property
     def load(self) -> int:
+        """Sequences on this worker in any state (routing metric)."""
         return len(self.waiting) + len(self.running) + len(self.swapped)
 
     @property
     def has_work(self) -> bool:
+        """True while any sequence still needs decode iterations."""
         return bool(self.waiting or self.running or self.swapped)
 
     def next_admit_seq(self) -> int:
+        """Monotonic admission ticket (FCFS tie-break for scheduling)."""
         self._admit_counter += 1
         return self._admit_counter
 
@@ -265,6 +271,7 @@ class ContinuousBatchingLLM:
     # deployment / placement
     # ------------------------------------------------------------------
     def deploy(self, function: FunctionSpec) -> None:
+        """Place ``replicas`` workers for an autoregressive function."""
         if not isinstance(function.model, LLMSpec):
             raise TypeError(
                 f"{self.name} serves autoregressive models; "
@@ -343,16 +350,20 @@ class ContinuousBatchingLLM:
     # ServingPlatform protocol surface
     # ------------------------------------------------------------------
     def function(self, name: str) -> FunctionSpec:
+        """The deployed spec for ``name`` (KeyError when unknown)."""
         return self.functions[name]
 
     def instances(self, name: str) -> List[LLMWorker]:
+        """The live workers currently serving ``name``."""
         return list(self._by_function.get(name, []))
 
     @property
     def timeout_slack_s(self) -> float:
+        """Batch-timeout slack; zero -- admission is per arrival."""
         return 0.0
 
     def record_invocation(self, name: str, now: float) -> None:
+        """Count one arrival against ``name`` (protocol bookkeeping)."""
         self._invocations[name] = self._invocations.get(name, 0) + 1
 
     def control(self, name: str, rps: float, now: float) -> None:
@@ -366,9 +377,11 @@ class ContinuousBatchingLLM:
                 break
 
     def should_shed(self, *_args, **_kwargs) -> bool:
-        return False  # admission control already runs per arrival
+        """Never shed here; admission control already runs per arrival."""
+        return False
 
     def route(self, function_name: str) -> Optional[LLMWorker]:
+        """Least-loaded worker for ``function_name`` (id tie-break)."""
         workers = self._by_function.get(function_name)
         if not workers:
             return None

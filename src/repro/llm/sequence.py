@@ -82,6 +82,7 @@ class Sequence:
     # ------------------------------------------------------------------
     @property
     def remaining_tokens(self) -> int:
+        """Output tokens still to generate before completion."""
         return self.output_tokens - self.generated
 
     @property

@@ -406,6 +406,7 @@ class LLMSimulation:
         n = len(records)
 
         def pct(values: np.ndarray, q: float) -> float:
+            """Percentile ``q`` of ``values``, 0.0 on an empty run."""
             return float(np.percentile(values, q)) if n else 0.0
 
         ttft_ok = sum(
