@@ -9,7 +9,7 @@ waste by 24.3% versus HHP.
 from _harness import emit, once
 
 from repro.analysis.reporting import format_table
-from repro.core import FixedKeepAlive, HybridHistogramPolicy, LongShortTermHistogram
+from repro.core import FixedKeepAlive, HybridHistogramPolicy, build_coldstart_policy
 from repro.simulation import compare_policies
 from repro.workloads import coldstart_fleet_invocations
 
@@ -19,9 +19,9 @@ def _evaluate():
     policies = [
         FixedKeepAlive(600.0),
         HybridHistogramPolicy(),
-        LongShortTermHistogram(gamma=0.3),
-        LongShortTermHistogram(gamma=0.5),
-        LongShortTermHistogram(gamma=0.7),
+        build_coldstart_policy("lsth", gamma=0.3),
+        build_coldstart_policy("lsth", gamma=0.5),
+        build_coldstart_policy("lsth", gamma=0.7),
     ]
     return {ev.policy: ev for ev in compare_policies(policies, fleet)}
 

@@ -10,7 +10,7 @@ Run:
     python examples/coldstart_policies.py
 """
 
-from repro import FixedKeepAlive, HybridHistogramPolicy, LongShortTermHistogram
+from repro import FixedKeepAlive, HybridHistogramPolicy, build_coldstart_policy
 from repro.simulation import evaluate_policy
 from repro.workloads import coldstart_fleet_invocations
 
@@ -24,9 +24,9 @@ def main() -> None:
     policies = [
         FixedKeepAlive(600.0),
         HybridHistogramPolicy(),                 # the ATC'20 baseline
-        LongShortTermHistogram(gamma=0.3),
-        LongShortTermHistogram(gamma=0.5),       # INFless default
-        LongShortTermHistogram(gamma=0.7),
+        build_coldstart_policy("lsth", gamma=0.3),
+        build_coldstart_policy("lsth", gamma=0.5),   # INFless default
+        build_coldstart_policy("lsth", gamma=0.7),
     ]
     baseline = None
     print(f"{'policy':12s} {'cold-start':>11s} {'wasted res-h':>13s}"

@@ -29,8 +29,11 @@ Quickstart::
 from repro.cluster import (
     BETA,
     Cluster,
+    FleetSpec,
+    GpuProfile,
     ResourceVector,
     Server,
+    ServerGroup,
     build_testbed_cluster,
 )
 from repro.core import (
@@ -39,11 +42,14 @@ from repro.core import (
     FixedKeepAlive,
     FunctionSpec,
     GreedyScheduler,
+    HybridAutoScaler,
     HybridHistogramPolicy,
     INFlessEngine,
     Instance,
     InstanceState,
     LongShortTermHistogram,
+    SwapKeepAlive,
+    build_coldstart_policy,
     rate_bounds,
 )
 from repro.models import MODEL_ZOO, ModelSpec, get_model, list_models
@@ -74,19 +80,25 @@ __version__ = "1.0.0"
 __all__ = [
     "BETA",
     "Cluster",
+    "FleetSpec",
+    "GpuProfile",
     "ResourceVector",
     "Server",
+    "ServerGroup",
     "build_testbed_cluster",
     "AutoScaler",
     "BatchQueue",
     "FixedKeepAlive",
     "FunctionSpec",
     "GreedyScheduler",
+    "HybridAutoScaler",
     "HybridHistogramPolicy",
     "INFlessEngine",
     "Instance",
     "InstanceState",
     "LongShortTermHistogram",
+    "SwapKeepAlive",
+    "build_coldstart_policy",
     "rate_bounds",
     "MODEL_ZOO",
     "ModelSpec",

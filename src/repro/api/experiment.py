@@ -16,6 +16,8 @@ from dataclasses import asdict
 from typing import Callable, Dict, Iterable, Optional, Union
 
 from repro.cluster.cluster import Cluster, build_testbed_cluster
+from repro.cluster.fleet import FleetSpec
+from repro.core.coldstart import COLDSTART_POLICIES
 from repro.core.engine import INFlessEngine
 from repro.core.function import FunctionSpec
 from repro.baselines.batch_otp import BatchOTP
@@ -104,6 +106,16 @@ class Experiment:
             testbed shape with ``servers`` machines.  Ignored when
             ``platform`` is a pre-built object (it owns its cluster).
         servers: testbed size used when no cluster is given.
+        fleet: a declarative :class:`~repro.cluster.fleet.FleetSpec`
+            (or its dict form, or a path to a fleet JSON file)
+            describing a possibly heterogeneous fleet; mutually
+            exclusive with ``cluster``.  ``servers=N`` stays the
+            homogeneous shorthand.
+        coldstart: cold-start policy registry name (``"lsth"``,
+            ``"swap"``, ``"fixed"``); forwarded to the platform.
+        autoscaler: ``"horizontal"`` (default) or ``"hybrid"``
+            (vertical SM-quota growth before scale-out); forwarded to
+            the platform.
         predictor: shared latency predictor for registry platforms.
         platform_options: extra keyword arguments for the registry
             platform constructor (``seed``, ``keepalive_s``, ...).
@@ -139,6 +151,9 @@ class Experiment:
         functions: Optional[Iterable[FunctionSpec]] = None,
         cluster: Optional[Cluster] = None,
         servers: int = 8,
+        fleet: Union[None, FleetSpec, Dict[str, object], str] = None,
+        coldstart: Optional[str] = None,
+        autoscaler: str = "horizontal",
         predictor: Optional[LatencyPredictor] = None,
         platform_options: Optional[Dict[str, object]] = None,
         executor: Optional[GroundTruthExecutor] = None,
@@ -167,6 +182,18 @@ class Experiment:
         self.functions = list(functions) if functions is not None else None
         self._cluster = cluster
         self.servers = servers
+        self.fleet = FleetSpec.coerce(fleet)
+        if self.fleet is not None and cluster is not None:
+            raise ValueError("pass either fleet= or cluster=, not both")
+        if coldstart is not None and coldstart not in COLDSTART_POLICIES:
+            known = ", ".join(COLDSTART_POLICIES)
+            raise ValueError(
+                f"unknown cold-start policy {coldstart!r} (known: {known})"
+            )
+        if autoscaler not in ("horizontal", "hybrid"):
+            raise ValueError("autoscaler must be 'horizontal' or 'hybrid'")
+        self.coldstart = coldstart
+        self.autoscaler = autoscaler
         self.predictor = predictor
         self.platform_options = dict(platform_options or {})
         self.executor = executor
@@ -214,20 +241,28 @@ class Experiment:
     # ------------------------------------------------------------------
     # assembly
     # ------------------------------------------------------------------
+    def _default_cluster(self) -> Cluster:
+        if self._cluster is not None:
+            return self._cluster
+        if self.fleet is not None:
+            return self.fleet.build_cluster()
+        return build_testbed_cluster(num_servers=self.servers)
+
     def _resolve_platform(self):
         spec = self._platform_spec
         if isinstance(spec, str):
-            cluster = self._cluster or build_testbed_cluster(
-                num_servers=self.servers
-            )
+            options = dict(self.platform_options)
+            # Folded in only when non-default so baseline platforms
+            # without the knobs keep constructing unchanged.
+            if self.coldstart is not None:
+                options["coldstart"] = self.coldstart
+            if self.autoscaler != "horizontal":
+                options["autoscaler"] = self.autoscaler
             return make_platform(
-                spec, cluster, self.predictor, **self.platform_options
+                spec, self._default_cluster(), self.predictor, **options
             )
         if callable(spec) and not hasattr(spec, "route"):
-            cluster = self._cluster or build_testbed_cluster(
-                num_servers=self.servers
-            )
-            return spec(cluster)
+            return spec(self._default_cluster())
         if self.platform_options:
             raise ValueError(
                 "platform_options only apply to registry-name platforms"
@@ -319,6 +354,15 @@ class Experiment:
         if self.functions is None:
             raise ValueError(
                 f"engine={self.engine!r} needs explicit function specs"
+            )
+        if (
+            self.fleet is not None
+            or self.coldstart is not None
+            or self.autoscaler != "horizontal"
+        ):
+            raise ValueError(
+                f"engine={self.engine!r} models the homogeneous default"
+                " fleet; fleet=/coldstart=/autoscaler= need engine='des'"
             )
         unsupported = [
             label
@@ -466,6 +510,12 @@ class Experiment:
         if self.engine != "des":
             spec["engine"] = self.engine
             spec["hot_k"] = self.hot_k
+        if self.fleet is not None:
+            spec["fleet"] = self.fleet.to_dict()
+        if self.coldstart is not None:
+            spec["coldstart"] = self.coldstart
+        if self.autoscaler != "horizontal":
+            spec["autoscaler"] = self.autoscaler
         return spec
 
     @classmethod
@@ -499,6 +549,9 @@ class Experiment:
             platform=spec["platform"],
             platform_options=spec.get("platform_options") or None,
             servers=spec.get("servers", 8),
+            fleet=spec.get("fleet"),
+            coldstart=spec.get("coldstart"),
+            autoscaler=spec.get("autoscaler", "horizontal"),
             functions=functions,
             workload={
                 name: Trace.from_dict(raw)

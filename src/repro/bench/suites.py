@@ -214,6 +214,51 @@ def bench_invariant_tick(quick: bool = False) -> int:
     return ticks
 
 
+def bench_hybrid_scale(quick: bool = False) -> int:
+    """Hybrid auto-scaling under a ramping load on a mixed fleet.
+
+    Replays a staircase load ramp through the HAS-GPU-style hybrid
+    auto-scaler (in-place GPU-quota growth before horizontal spawns)
+    on a 2080Ti/A100 mixed fleet, exercising the vertical-resize and
+    generation-aware prediction paths; returns events processed.
+    """
+    import numpy as np
+
+    from repro.api import Experiment
+    from repro.cluster.fleet import FleetSpec, ServerGroup
+    from repro.core import FunctionSpec
+    from repro.profiling import build_default_predictor
+    from repro.workloads.trace import Trace
+
+    duration_s = 40.0 if quick else 160.0
+    steps = 8
+    # 60 -> 480 rps staircase: every riser asks the scaler for more
+    # rate than the live instances currently price.
+    rps = np.repeat(
+        np.linspace(60.0, 480.0, steps),
+        int(duration_s / steps),
+    )
+    trace = Trace(name="ramp", step_s=1.0, rps=rps)
+    fleet = FleetSpec(groups=(
+        ServerGroup(count=3, gpu_profile="2080ti"),
+        ServerGroup(count=1, gpu_profile="a100"),
+    ))
+    function = FunctionSpec.for_model("resnet-50", slo_s=0.2)
+    experiment = Experiment(
+        platform="infless",
+        fleet=fleet,
+        autoscaler="hybrid",
+        predictor=build_default_predictor(),
+        functions=[function],
+        workload={function.name: trace},
+        warmup_s=5.0,
+        invariants="off",
+        seed=11,
+    )
+    experiment.run()
+    return experiment.simulation.loop.processed
+
+
 # ----------------------------------------------------------------------
 # macro-benchmarks
 # ----------------------------------------------------------------------
@@ -359,6 +404,7 @@ MICRO_BENCHMARKS: Dict[str, Callable[[bool], int]] = {
     "llm_decode": bench_llm_decode,
     "fluid_step": bench_fluid_step,
     "invariant_tick": bench_invariant_tick,
+    "hybrid_scale": bench_hybrid_scale,
 }
 
 MACRO_BENCHMARKS: Dict[str, Callable[[bool], int]] = {

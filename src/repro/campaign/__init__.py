@@ -49,6 +49,7 @@ from repro.campaign.spec import (
     AXIS_DEFAULTS,
     AXIS_ORDER,
     CAMPAIGN_SCHEMA,
+    OPTIONAL_AXIS_DEFAULTS,
     TRACE_KINDS,
     CampaignSpec,
     RunSpec,
@@ -81,6 +82,7 @@ __all__ = [
     "AXIS_DEFAULTS",
     "AXIS_ORDER",
     "CAMPAIGN_SCHEMA",
+    "OPTIONAL_AXIS_DEFAULTS",
     "TRACE_KINDS",
     "CampaignSpec",
     "RunSpec",

@@ -19,7 +19,11 @@ import io
 import math
 from typing import Dict, List, Sequence, Tuple
 
-from repro.campaign.spec import AXIS_ORDER, canonical_json
+from repro.campaign.spec import (
+    AXIS_ORDER,
+    OPTIONAL_AXIS_DEFAULTS,
+    canonical_json,
+)
 from repro.simulation.sketches import QuantileSketch
 
 #: metric name -> key in the per-run report payload.
@@ -144,16 +148,38 @@ def aggregate_results(
     }
 
 
+def _axis_columns(report: Dict[str, object]) -> List[str]:
+    """Axis columns for rendering: fixed order + opt-in axes present.
+
+    Campaigns that never name an optional axis keep the legacy column
+    set byte-for-byte.
+    """
+    extra = [
+        axis for axis in OPTIONAL_AXIS_DEFAULTS
+        if any(axis in entry["cell"] for entry in report["cells"])
+    ]
+    return [*AXIS_ORDER, *extra]
+
+
+def _axis_value(cell: Dict[str, object], axis: str) -> object:
+    """A cell's axis value, flattened to a stable printable form."""
+    value = cell.get(axis, "")
+    if isinstance(value, dict):
+        return canonical_json(value)
+    return value
+
+
 def report_csv(report: Dict[str, object]) -> str:
     """The aggregate as a tidy CSV: one row per (cell, metric)."""
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
+    columns = _axis_columns(report)
     writer.writerow([
-        *AXIS_ORDER, "metric", "n", "mean", "std", "ci95", "min", "max",
+        *columns, "metric", "n", "mean", "std", "ci95", "min", "max",
     ])
     for entry in report["cells"]:
         cell = entry["cell"]
-        axis_values = [cell.get(axis, "") for axis in AXIS_ORDER]
+        axis_values = [_axis_value(cell, axis) for axis in columns]
         for metric, _key in CELL_METRICS:
             stats = entry["metrics"][metric]
             writer.writerow([
@@ -170,7 +196,7 @@ def report_rows(
 ) -> Tuple[List[str], List[List[str]]]:
     """(header, rows) of the human-facing summary table."""
     varying = [
-        axis for axis in AXIS_ORDER
+        axis for axis in _axis_columns(report)
         if len({
             canonical_json(entry["cell"].get(axis))
             for entry in report["cells"]
@@ -181,7 +207,7 @@ def report_rows(
         header.append(f"{metric} (mean +/- std)")
     rows = []
     for entry in report["cells"]:
-        row = [str(entry["cell"].get(axis)) for axis in varying]
+        row = [str(_axis_value(entry["cell"], axis)) for axis in varying]
         row.append(str(entry["metrics"][metrics[0]]["n"]))
         for metric in metrics:
             stats = entry["metrics"][metric]

@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.api import PLATFORMS, Experiment
+from repro.cluster.fleet import FleetSpec
+from repro.core.coldstart import COLDSTART_POLICIES
 from repro.core.function import FunctionSpec
 from repro.faults import FaultPlan
 from repro.workloads import (
@@ -60,6 +62,18 @@ AXIS_DEFAULTS: Dict[str, object] = {
 
 #: fixed expansion order: the cross product iterates right-to-left.
 AXIS_ORDER: Tuple[str, ...] = tuple(AXIS_DEFAULTS)
+
+#: opt-in axes that join a cell only when the spec names them, so
+#: existing campaigns keep their canonical cell keys (and hence the
+#: spawned seeds and content-addressed run hashes).  ``fleet`` values
+#: are FleetSpec dicts or JSON paths (inlined at expansion, like
+#: fault plans); ``coldstart``/``autoscaler`` pass through to the
+#: experiment spec.
+OPTIONAL_AXIS_DEFAULTS: Dict[str, object] = {
+    "fleet": None,
+    "coldstart": None,
+    "autoscaler": "horizontal",
+}
 
 #: trace kind -> generator; seeded kinds receive a SeedSequence child.
 TRACE_KINDS = ("constant", "periodic", "bursty", "sporadic")
@@ -143,7 +157,10 @@ class CampaignSpec:
             their single default (:data:`AXIS_DEFAULTS`).  The
             ``faults`` axis takes fault-plan JSON paths (or None); the
             plan file is inlined at expansion time so the run hash
-            covers its *content*.
+            covers its *content*.  Opt-in axes
+            (:data:`OPTIONAL_AXIS_DEFAULTS`: ``fleet``, ``coldstart``,
+            ``autoscaler``) join cells only when named here; ``fleet``
+            values are FleetSpec dicts or JSON paths (also inlined).
         replicates: replicate labels (the "seed list" of the grid);
             each cell runs once per label.
         root_seed: the campaign's seed-derivation root.
@@ -170,9 +187,11 @@ class CampaignSpec:
             raise ValueError("campaign needs at least one replicate")
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
-        unknown = sorted(set(self.axes) - set(AXIS_DEFAULTS))
+        unknown = sorted(
+            set(self.axes) - set(AXIS_DEFAULTS) - set(OPTIONAL_AXIS_DEFAULTS)
+        )
         if unknown:
-            known = ", ".join(AXIS_ORDER)
+            known = ", ".join(AXIS_ORDER + tuple(OPTIONAL_AXIS_DEFAULTS))
             raise ValueError(
                 f"unknown campaign axes {unknown}; known axes: {known}"
             )
@@ -190,6 +209,18 @@ class CampaignSpec:
                 known = ", ".join(TRACE_KINDS)
                 raise ValueError(
                     f"unknown trace kind {kind!r}; known kinds: {known}"
+                )
+        for name in self.axes.get("coldstart", []):
+            if name is not None and name not in COLDSTART_POLICIES:
+                known = ", ".join(sorted(COLDSTART_POLICIES))
+                raise ValueError(
+                    f"unknown coldstart policy {name!r}; known: {known}"
+                )
+        for name in self.axes.get("autoscaler", []):
+            if name not in ("horizontal", "hybrid"):
+                raise ValueError(
+                    f"unknown autoscaler {name!r};"
+                    " known: horizontal, hybrid"
                 )
         object.__setattr__(self, "replicates", tuple(self.replicates))
         object.__setattr__(
@@ -249,13 +280,23 @@ class CampaignSpec:
     # expansion
     # ------------------------------------------------------------------
     def cells(self) -> List[Dict[str, object]]:
-        """The grid's cells in deterministic cross-product order."""
+        """The grid's cells in deterministic cross-product order.
+
+        Optional axes (:data:`OPTIONAL_AXIS_DEFAULTS`) join the cell
+        dict only when the spec names them, keeping legacy campaigns'
+        cell keys -- and the seeds/hashes derived from them -- intact.
+        """
+        order = AXIS_ORDER + tuple(
+            axis for axis in OPTIONAL_AXIS_DEFAULTS if axis in self.axes
+        )
         values = [
             list(self.axes.get(axis, [AXIS_DEFAULTS[axis]]))
-            for axis in AXIS_ORDER
+            if axis in AXIS_DEFAULTS
+            else list(self.axes[axis])
+            for axis in order
         ]
         return [
-            dict(zip(AXIS_ORDER, combo))
+            dict(zip(order, combo))
             for combo in itertools.product(*values)
         ]
 
@@ -331,6 +372,17 @@ class CampaignSpec:
             "warmup_s": self.warmup_s,
             "seed": sim_seed,
         }
+        fleet = cell.get("fleet")
+        if fleet is not None:
+            # Inline path values (like fault plans) so the run hash
+            # covers the fleet's *content*, not the file name.
+            spec["fleet"] = FleetSpec.coerce(fleet).to_dict()
+        coldstart = cell.get("coldstart")
+        if coldstart is not None:
+            spec["coldstart"] = coldstart
+        autoscaler = cell.get("autoscaler", "horizontal")
+        if autoscaler != "horizontal":
+            spec["autoscaler"] = autoscaler
         spec.update(extra)
         # Validate eagerly: a spec that cannot rebuild should fail at
         # expansion time, not inside a worker.

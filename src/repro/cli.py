@@ -39,7 +39,7 @@ from repro.core import (
     FunctionSpec,
     HybridHistogramPolicy,
     INFlessEngine,
-    LongShortTermHistogram,
+    build_coldstart_policy,
 )
 from repro.faults import FaultPlan, ResiliencePolicy
 from repro.models import list_llm_models, list_models
@@ -166,6 +166,9 @@ def _cmd_simulate_seeds(args: argparse.Namespace, faults, resilience) -> int:
         experiment = Experiment(
             platform=args.platform,
             servers=args.servers,
+            fleet=args.fleet,
+            coldstart=args.coldstart,
+            autoscaler=args.autoscaler,
             functions=[function],
             workload={function.name: constant_trace(args.rps, args.duration)},
             platform_options=options,
@@ -244,6 +247,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except (OSError, ValueError, KeyError) as exc:
         print(f"cannot load fault plan {args.faults}: {exc}", file=sys.stderr)
         return 1
+    if args.fleet is not None and not os.path.isfile(args.fleet):
+        print(f"cannot load fleet spec {args.fleet}: no such file",
+              file=sys.stderr)
+        return 1
     resilience = None
     if (
         faults is not None
@@ -260,6 +267,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         experiment = Experiment(
             platform=args.platform,
             servers=args.servers,
+            fleet=args.fleet,
+            coldstart=args.coldstart,
+            autoscaler=args.autoscaler,
             functions=[function],
             workload={function.name: constant_trace(args.rps, args.duration)},
             platform_options=_platform_options(args),
@@ -277,9 +287,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             hot_k=args.hot_k,
         )
         report = experiment.run()
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
         # Unsupported knob combinations (e.g. --engine fluid with
-        # faults or telemetry) are rejected with the reason.
+        # faults or telemetry) and malformed --fleet files are
+        # rejected with the reason.
         print(f"cannot run: {exc}", file=sys.stderr)
         return 1
     tracer = experiment.tracer
@@ -690,7 +701,7 @@ def _cmd_coldstart(args: argparse.Namespace) -> int:
     policies = [
         FixedKeepAlive(600.0),
         HybridHistogramPolicy(),
-        LongShortTermHistogram(gamma=args.gamma),
+        build_coldstart_policy("lsth", gamma=args.gamma),
     ]
     rows = [
         [ev.policy, f"{ev.cold_start_rate:.2%}",
@@ -743,6 +754,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="victim-selection policy on llm platforms",
     )
     simulate.add_argument("--servers", type=int, default=8)
+    simulate.add_argument(
+        "--fleet", metavar="PATH", default=None,
+        help="build the cluster from the FleetSpec JSON at PATH"
+             " (heterogeneous GPU generations; see docs/fleet.md)."
+             " Overrides --servers",
+    )
+    simulate.add_argument(
+        "--coldstart", choices=("lsth", "swap", "fixed"), default=None,
+        help="cold-start keep-alive policy (default: the paper's LSTH;"
+             " swap parks idle weights in host RAM Torpor-style)",
+    )
+    simulate.add_argument(
+        "--autoscaler", choices=("horizontal", "hybrid"),
+        default="horizontal",
+        help="hybrid grows live instances' GPU quota in place before"
+             " spawning new ones (HAS-GPU-style vertical scaling)",
+    )
     simulate.add_argument("--seed", type=int, default=1)
     simulate.add_argument(
         "--seeds", metavar="S1,S2,...", default=None,

@@ -20,6 +20,14 @@ from repro.cluster.resources import (
 from repro.cluster.server import GpuDevice, Server
 from repro.cluster.cluster import Cluster, Placement, build_testbed_cluster
 from repro.cluster.heterogeneous import build_mixed_cluster, describe_cluster
+from repro.cluster.fleet import (
+    DEFAULT_GPU_PROFILE,
+    GPU_PROFILES,
+    FleetSpec,
+    GpuProfile,
+    ServerGroup,
+    resolve_gpu_profile,
+)
 
 __all__ = [
     "CPU_CORE_GFLOPS",
@@ -37,4 +45,10 @@ __all__ = [
     "build_testbed_cluster",
     "build_mixed_cluster",
     "describe_cluster",
+    "DEFAULT_GPU_PROFILE",
+    "GPU_PROFILES",
+    "FleetSpec",
+    "GpuProfile",
+    "ServerGroup",
+    "resolve_gpu_profile",
 ]

@@ -144,6 +144,51 @@ class Cluster:
         self._sync_server_free(server)
         self.version += 1
 
+    def resize_placement(
+        self, placement: Placement, new_resources: ResourceVector
+    ) -> Placement:
+        """Resize a live placement's GPU quota in place (HAS-GPU style).
+
+        Vertical scaling grows (or shrinks) the SM share on the *same*
+        device the instance already occupies -- MPS quotas cannot move
+        across GPUs without a reload, and CPU/memory stay untouched, so
+        only the ``gpu`` dimension may change.  Returns the replacement
+        :class:`Placement` record (same ``placement_id``).
+        """
+        if placement.placement_id not in self._placements:
+            raise AllocationError(f"unknown placement {placement.placement_id}")
+        old = placement.resources
+        if (
+            new_resources.cpu != old.cpu
+            or new_resources.memory_mb != old.memory_mb
+        ):
+            raise AllocationError(
+                "resize_placement only changes the GPU share"
+            )
+        delta = new_resources.gpu - old.gpu
+        if delta == 0:
+            return placement
+        if placement.gpu_device_id is None:
+            raise AllocationError("cannot resize a CPU-only placement")
+        server = self.server(placement.server_id)
+        device = server.gpus[placement.gpu_device_id]
+        if delta > 0:
+            device.allocate(delta)
+        else:
+            device.release(-delta)
+        server._refresh_gpu_totals()
+        resized = Placement(
+            placement_id=placement.placement_id,
+            server_id=placement.server_id,
+            resources=new_resources,
+            gpu_device_id=placement.gpu_device_id,
+        )
+        self._placements[placement.placement_id] = resized
+        self._free_gpu_total -= delta
+        self._sync_server_free(server)
+        self.version += 1
+        return resized
+
     @property
     def placements(self) -> List[Placement]:
         return list(self._placements.values())

@@ -34,6 +34,13 @@ def build_mixed_cluster(
     """
     if gpu_servers < 0 or cpu_servers < 0 or gpu_servers + cpu_servers == 0:
         raise ValueError("need at least one server")
+    if gpu_servers > 0 and gpus_per_gpu_server <= 0:
+        # A "GPU server" with zero devices silently degrades into an
+        # undersized CPU box and skews the scarcity-beta re-pricing.
+        raise ValueError(
+            "gpus_per_gpu_server must be positive when gpu_servers > 0"
+            " (use cpu_servers for CPU-only nodes)"
+        )
     servers: List[Server] = []
     server_id = 0
     for _ in range(gpu_servers):

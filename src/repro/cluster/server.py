@@ -11,9 +11,12 @@ per device and picks a device at allocation time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.cluster.resources import BETA, ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.fleet import GpuProfile
 
 
 class AllocationError(RuntimeError):
@@ -132,14 +135,35 @@ class Server:
     num_gpus: int = 2
     #: failed servers accept no placements and drop out of aggregates.
     healthy: bool = True
+    #: GPU generation of this server's devices; ``None`` means the
+    #: calibration baseline (2080Ti-class) so homogeneous fleets pay
+    #: no lookup cost.
+    gpu_profile: Optional["GpuProfile"] = None
     cpu_free: int = field(init=False)
     memory_free_mb: int = field(init=False)
     gpus: List[GpuDevice] = field(init=False)
+    #: host memory holding swapped-out model weights (the Torpor-style
+    #: cold-start policy); charged against ``memory_capacity_mb`` but
+    #: kept out of ``memory_free_mb`` so the placement ledger still
+    #: sums exactly.
+    swap_reserved_mb: float = field(init=False)
 
     def __post_init__(self) -> None:
         self.cpu_free = self.cpu_capacity
         self.memory_free_mb = self.memory_capacity_mb
-        self.gpus = [GpuDevice(device_id=i) for i in range(self.num_gpus)]
+        self.swap_reserved_mb = 0.0
+        if self.gpu_profile is None:
+            self.gpus = [GpuDevice(device_id=i) for i in range(self.num_gpus)]
+        else:
+            self.gpus = [
+                GpuDevice(
+                    device_id=i,
+                    capacity=self.gpu_profile.sm_units,
+                    free=self.gpu_profile.sm_units,
+                    memory_mb=self.gpu_profile.memory_gb * 1024.0,
+                )
+                for i in range(self.num_gpus)
+            ]
         # Incrementally-maintained aggregates: the scheduler probes
         # can_fit()/gpu_free millions of times at cluster scale, so
         # they must be O(1).
@@ -191,10 +215,16 @@ class Server:
         """True when at least one instance occupies this server (``y_j = 1``)."""
         return self.healthy and (self.used.cpu > 0 or self.used.gpu > 0)
 
+    @property
+    def host_memory_available_mb(self) -> float:
+        """Host memory free for placements after swapped-out weights."""
+        return self.memory_free_mb - self.swap_reserved_mb
+
     def reset_free(self) -> None:
         """Restore all capacity to the free pool (recovered machine)."""
         self.cpu_free = self.cpu_capacity
         self.memory_free_mb = self.memory_capacity_mb
+        self.swap_reserved_mb = 0.0
         for gpu in self.gpus:
             gpu.free = gpu.capacity
             gpu.weights_reserved_mb = 0.0
@@ -215,7 +245,10 @@ class Server:
         """Whether the request fits, respecting single-device GPU quotas."""
         if not self.healthy:
             return False
-        if request.cpu > self.cpu_free or request.memory_mb > self.memory_free_mb:
+        if (
+            request.cpu > self.cpu_free
+            or request.memory_mb > self.memory_free_mb - self.swap_reserved_mb
+        ):
             return False
         if request.gpu == 0:
             return True
@@ -241,10 +274,10 @@ class Server:
                 f"server {self.server_id}: {self.cpu_free} cores free,"
                 f" asked {request.cpu}"
             )
-        if request.memory_mb > self.memory_free_mb:
+        if request.memory_mb > self.memory_free_mb - self.swap_reserved_mb:
             raise AllocationError(
-                f"server {self.server_id}: {self.memory_free_mb} MB free,"
-                f" asked {request.memory_mb} MB"
+                f"server {self.server_id}: {self.host_memory_available_mb} MB"
+                f" free, asked {request.memory_mb} MB"
             )
         device_id: Optional[int] = None
         if request.gpu > 0:
@@ -267,6 +300,33 @@ class Server:
         self.memory_free_mb += request.memory_mb
         if self.cpu_free > self.cpu_capacity or self.memory_free_mb > self.memory_capacity_mb:
             raise AllocationError(f"server {self.server_id}: release overflow")
+
+    # ------------------------------------------------------------------
+    # host-memory swap ledger (Torpor-style weight eviction)
+    # ------------------------------------------------------------------
+    def swap_reserve(self, mb: float) -> bool:
+        """Park ``mb`` of evicted model weights in host RAM.
+
+        Returns False (instead of raising) when host memory is full:
+        the cold-start policy then falls back to a plain unload.
+        """
+        if mb < 0:
+            raise AllocationError("negative swap reservation")
+        if mb > self.memory_free_mb - self.swap_reserved_mb + 1e-9:
+            return False
+        self.swap_reserved_mb += mb
+        return True
+
+    def swap_release(self, mb: float) -> None:
+        """Drop a host-RAM weight reservation; over-release is a bug."""
+        if mb > self.swap_reserved_mb + 1e-9:
+            raise AllocationError(
+                f"server {self.server_id}: releasing {mb:.0f} MB of swapped"
+                f" weights but only {self.swap_reserved_mb:.0f} MB reserved"
+            )
+        self.swap_reserved_mb -= mb
+        if self.swap_reserved_mb < 1e-9:
+            self.swap_reserved_mb = 0.0
 
     # ------------------------------------------------------------------
     # fragmentation

@@ -13,15 +13,19 @@ from repro.core.efficiency import resource_efficiency
 from repro.core.dispatcher import DispatchPlan, plan_dispatch, ALPHA_DEFAULT
 from repro.core.scheduler import GreedyScheduler, ScheduledInstance, SchedulingError
 from repro.core.coldstart import (
+    COLDSTART_POLICIES,
     ColdStartDecision,
+    ColdStartPolicy,
     FixedKeepAlive,
     KeepAlivePolicy,
     WindowedKeepAlive,
+    build_coldstart_policy,
 )
 from repro.core.histogram import IdleTimeHistogram
 from repro.core.hhp import HybridHistogramPolicy
 from repro.core.lsth import LongShortTermHistogram
-from repro.core.autoscaler import AutoScaler
+from repro.core.swap import SwapKeepAlive
+from repro.core.autoscaler import AutoScaler, HybridAutoScaler
 from repro.core.engine import INFlessEngine
 
 __all__ = [
@@ -38,13 +42,18 @@ __all__ = [
     "GreedyScheduler",
     "ScheduledInstance",
     "SchedulingError",
+    "COLDSTART_POLICIES",
     "ColdStartDecision",
+    "ColdStartPolicy",
     "FixedKeepAlive",
     "KeepAlivePolicy",
     "WindowedKeepAlive",
+    "build_coldstart_policy",
     "IdleTimeHistogram",
     "HybridHistogramPolicy",
     "LongShortTermHistogram",
+    "SwapKeepAlive",
     "AutoScaler",
+    "HybridAutoScaler",
     "INFlessEngine",
 ]

@@ -12,31 +12,53 @@ warm pool governed by the cold-start policy:
 * with a positive pre-warm window the instance unloads immediately and
   its image is **prefetched** again at the pre-warm time -- a scale-up
   of the function inside ``[prewarm, prewarm + keepalive]`` skips the
-  cold-start latency but must re-acquire resources.
+  cold-start latency but must re-acquire resources;
+* a :class:`~repro.core.coldstart.ColdStartPolicy` may instead decide
+  **swap** (Torpor-style): the quota is released and the model weights
+  park in the server's host RAM, so a reuse pays only the PCIe
+  swap-in delay instead of a full cold start.
+
+:class:`HybridAutoScaler` adds HAS-GPU-style vertical scaling on top:
+before launching new instances for overflow load, it grows the SM
+quota of live instances in place (re-pricing their Eq. 1 rate ranges)
+and only falls back to horizontal scale-out for the rest.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.core.coldstart import KeepAlivePolicy
+from repro.core.batching import InfeasibleBatchError, rate_bounds
+from repro.core.coldstart import (
+    IDLE_DROP,
+    IDLE_PREFETCH,
+    IDLE_RESERVE,
+    IDLE_SWAP,
+    KeepAlivePolicy,
+)
 from repro.core.dispatcher import ALPHA_DEFAULT, DispatchPlan, plan_dispatch
 from repro.core.function import FunctionSpec
 from repro.core.instance import Instance, InstanceState
 from repro.core.scheduler import GreedyScheduler
+from repro.core.swap import swap_weights_mb
+from repro.profiling.configspace import InstanceConfig
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
 class WarmPoolEntry:
-    """A retired instance kept warm (reserved) or prefetched."""
+    """A retired instance kept warm (reserved), prefetched or swapped."""
 
     instance: Instance
     expires_at: float
     reserved: bool
     available_from: float  # prewarm time for prefetched entries
     entered_at: float
+    #: server holding the swapped-out weights (Torpor-style entries).
+    swap_server_id: Optional[int] = None
+    #: host-RAM reservation charged for those weights, in MB.
+    swap_mb: float = 0.0
 
 
 @dataclass
@@ -47,13 +69,18 @@ class ScalingStats:
     cold_starts: int = 0
     warm_reuses: int = 0
     prefetch_reuses: int = 0
+    #: warm reuses that paid a PCIe swap-in (subset of ``warm_reuses``).
+    swap_reuses: int = 0
     releases: int = 0
+    #: in-place SM-quota growths (hybrid autoscaler).
+    vertical_resizes: int = 0
     #: instances lost to server failures.
     failures: int = 0
     reserved_idle_resource_s: float = 0.0
 
     @property
     def cold_start_rate(self) -> float:
+        """Fraction of launches that paid a cold start."""
         if self.launches == 0:
             return 0.0
         return self.cold_starts / self.launches
@@ -102,12 +129,15 @@ class AutoScaler:
     # views
     # ------------------------------------------------------------------
     def active_instances(self, function_name: str) -> List[Instance]:
+        """Copy of a function's live instance list."""
         return list(self._active.get(function_name, []))
 
     def all_active_instances(self) -> List[Instance]:
+        """Live instances across every function."""
         return [inst for group in self._active.values() for inst in group]
 
     def warm_pool(self, function_name: str) -> List[WarmPoolEntry]:
+        """Copy of a function's warm-pool entries."""
         return list(self._warm.get(function_name, []))
 
     # ------------------------------------------------------------------
@@ -125,6 +155,7 @@ class AutoScaler:
             self._warm[name] = kept
 
     def _unload(self, entry: WarmPoolEntry, until: float) -> None:
+        self._drop_swap_reservation(entry)
         if entry.reserved:
             held = max(0.0, until - entry.entered_at)
             weighted = entry.instance.config.weighted_cost(
@@ -134,17 +165,72 @@ class AutoScaler:
             self.scheduler.release(entry.instance)
         entry.instance.state = InstanceState.TERMINATED
 
+    def _drop_swap_reservation(self, entry: WarmPoolEntry) -> None:
+        """Return an entry's parked weights to the host-RAM pool."""
+        if entry.swap_mb <= 0.0 or entry.swap_server_id is None:
+            return
+        server = self.scheduler.cluster.server(entry.swap_server_id)
+        if server.healthy:
+            server.swap_release(entry.swap_mb)
+        entry.swap_mb = 0.0
+        entry.swap_server_id = None
+
+    def _idle_mode(
+        self, function: FunctionSpec, instance: Instance, decision, now: float
+    ) -> str:
+        """What to do with a retiring instance (IDLE_* constant)."""
+        on_idle = getattr(self.policy, "on_idle", None)
+        if on_idle is not None:
+            server = None
+            if instance.placement is not None:
+                server = self.scheduler.cluster.server(
+                    instance.placement.server_id
+                )
+            return on_idle(function.name, instance, server, now)
+        # Windows-only policy (pre-ColdStartPolicy protocol): derive the
+        # mode from the decision exactly as the scaler historically did.
+        if decision.keepalive_s <= 0:
+            return IDLE_DROP
+        return IDLE_RESERVE if decision.prewarm_s <= 0 else IDLE_PREFETCH
+
     def _retire(self, function: FunctionSpec, instance: Instance, now: float) -> None:
         decision = self.policy.windows(function.name, now)
         instance.assigned_rate = 0.0
         pool = self._warm.setdefault(function.name, [])
-        if decision.keepalive_s <= 0:
+        mode = self._idle_mode(function, instance, decision, now)
+        if mode == IDLE_SWAP:
+            placement = instance.placement
+            server = (
+                self.scheduler.cluster.server(placement.server_id)
+                if placement is not None
+                else None
+            )
+            weights_mb = swap_weights_mb(instance)
+            if server is not None and server.swap_reserve(weights_mb):
+                self.scheduler.release(instance)
+                instance.state = InstanceState.WARM_IDLE
+                pool.append(
+                    WarmPoolEntry(
+                        instance=instance,
+                        expires_at=now + decision.keepalive_s,
+                        reserved=False,
+                        available_from=now,
+                        entered_at=now,
+                        swap_server_id=server.server_id,
+                        swap_mb=weights_mb,
+                    )
+                )
+                self.stats.releases += 1
+                return
+            # Host RAM full (Torpor's cache overflow): plain unload.
+            mode = IDLE_DROP
+        if mode == IDLE_DROP:
             instance.state = InstanceState.WARM_IDLE
             entry = WarmPoolEntry(instance, now, True, now, now)
             self._unload(entry, until=now)
             self.stats.releases += 1
             return
-        if decision.prewarm_s <= 0:
+        if mode == IDLE_RESERVE:
             instance.state = InstanceState.WARM_IDLE
             pool.append(
                 WarmPoolEntry(
@@ -198,6 +284,32 @@ class AutoScaler:
                 instance.state = InstanceState.ACTIVE
                 instance.ready_at = now
                 self.stats.warm_reuses += 1
+            elif entry.swap_server_id is not None:
+                # Swapped-out weights: re-acquire quota (preferring the
+                # server parking the weights), then pay the PCIe
+                # swap-in delay instead of a full cold start.
+                placement = self._try_reallocate(
+                    instance, prefer=entry.swap_server_id
+                )
+                if placement is None:
+                    remaining.append(entry)
+                    continue
+                server = self.scheduler.cluster.server(placement.server_id)
+                swapped_mb = entry.swap_mb
+                self._drop_swap_reservation(entry)
+                delay = self.policy.on_reuse(
+                    function.name, instance, server, now,
+                    swapped_mb=swapped_mb,
+                )
+                instance.placement = placement
+                instance.ready_at = now + max(0.0, delay)
+                instance.state = (
+                    InstanceState.COLD_STARTING
+                    if instance.ready_at > now
+                    else InstanceState.ACTIVE
+                )
+                self.stats.warm_reuses += 1
+                self.stats.swap_reuses += 1
             else:
                 # Prefetched image: must re-acquire resources, but the
                 # startup skips the model-load latency.
@@ -214,10 +326,14 @@ class AutoScaler:
         self._warm[function.name] = remaining
         return reclaimed
 
-    def _try_reallocate(self, instance: Instance):
+    def _try_reallocate(self, instance: Instance, prefer: Optional[int] = None):
         cluster = self.scheduler.cluster
         memory = int(round(instance.function.model.memory_mb(instance.config.batch)))
         resources = instance.config.resources(memory_mb=memory)
+        if prefer is not None:
+            server = cluster.server(prefer)
+            if server.can_fit(resources):
+                return cluster.allocate(prefer, resources)
         for server in cluster.servers:
             if server.can_fit(resources):
                 return cluster.allocate(server.server_id, resources)
@@ -226,14 +342,20 @@ class AutoScaler:
     # ------------------------------------------------------------------
     # failures
     # ------------------------------------------------------------------
-    def evict_lost(self, lost_placement_ids, now: float) -> List[Instance]:
+    def evict_lost(
+        self, lost_placement_ids, now: float, failed_server_ids=None
+    ) -> List[Instance]:
         """Drop instances whose placements died with a failed server.
 
         Their resources are already gone (the cluster removed the
         placements); this just terminates the bookkeeping so the next
-        control step re-provisions capacity elsewhere.
+        control step re-provisions capacity elsewhere.  Warm-pool
+        entries whose swapped-out weights were parked on a server in
+        ``failed_server_ids`` are dropped too -- without releasing the
+        reservation, since recovery resets the machine's ledger.
         """
         self.version += 1
+        failed_servers = frozenset(failed_server_ids or ())
         lost_instances: List[Instance] = []
         for name, group in self._active.items():
             kept = []
@@ -253,6 +375,14 @@ class AutoScaler:
                 placement = entry.instance.placement
                 if placement is not None and placement.placement_id in lost_placement_ids:
                     entry.instance.placement = None
+                    entry.instance.state = InstanceState.TERMINATED
+                elif (
+                    entry.swap_server_id is not None
+                    and entry.swap_server_id in failed_servers
+                ):
+                    # The parked weights died with the host.
+                    entry.swap_mb = 0.0
+                    entry.swap_server_id = None
                     entry.instance.state = InstanceState.TERMINATED
                 else:
                     kept_entries.append(entry)
@@ -277,6 +407,24 @@ class AutoScaler:
         self.version += 1
         self.stats.failures += 1
         return victim
+
+    # ------------------------------------------------------------------
+    # vertical scaling hook
+    # ------------------------------------------------------------------
+    def _vertical_scale(
+        self,
+        function: FunctionSpec,
+        active: List[Instance],
+        residual_rps: float,
+        now: float,
+    ) -> float:
+        """Capacity (RPS) gained by resizing live instances in place.
+
+        The base scaler is horizontal-only and gains nothing;
+        :class:`HybridAutoScaler` overrides this with HAS-GPU-style
+        SM-quota growth.
+        """
+        return 0.0
 
     # ------------------------------------------------------------------
     # the control step
@@ -311,6 +459,8 @@ class AutoScaler:
         if plan.residual_rps > 0:
             reclaimed = self._reclaim(function, plan.residual_rps, now)
             residual = plan.residual_rps - sum(inst.r_up for inst in reclaimed)
+            if residual > 1e-9:
+                residual -= self._vertical_scale(function, active, residual, now)
             if residual > 1e-9:
                 outcome = self.scheduler.schedule(function, residual)
                 launched = outcome.instances
@@ -354,3 +504,121 @@ class AutoScaler:
             leftover_rps=leftover,
             scheduling_overhead_s=overhead,
         )
+
+
+class HybridAutoScaler(AutoScaler):
+    """Hybrid vertical + horizontal scaling (HAS-GPU-style).
+
+    On overflow load the scaler first grows the SM quota of the
+    function's live instances *in place* -- within the free units of
+    the device each instance already occupies -- and only schedules new
+    instances (paying a cold start) for whatever residual remains.
+    Each resize re-prices the instance's ``t_exec`` and Eq. 1 rate
+    range, so the dispatcher immediately dispatches into the added
+    capacity; CPU share, memory footprint and batchsize stay fixed
+    (an MPS quota can grow without a container restart, the rest
+    cannot).
+    """
+
+    def _vertical_scale(
+        self,
+        function: FunctionSpec,
+        active: List[Instance],
+        residual_rps: float,
+        now: float,
+    ) -> float:
+        gained = 0.0
+        # Instance ids are deterministic across runs; the active list's
+        # order also is, but sorting makes the resize order independent
+        # of reclaim/launch history.
+        for instance in sorted(active, key=lambda inst: inst.instance_id):
+            need = residual_rps - gained
+            if need <= 1e-9:
+                break
+            gained += self._try_grow(function, instance, need, now)
+        return gained
+
+    def _try_grow(
+        self,
+        function: FunctionSpec,
+        instance: Instance,
+        need_rps: float,
+        now: float,
+    ) -> float:
+        """Grow one instance's SM quota; returns the ``r_up`` gain.
+
+        Picks the smallest configured GPU share that covers the needed
+        rate within the device's free units (or the largest-gain share
+        when none does), re-predicts ``t_exec`` for the server's GPU
+        generation and applies the resize through
+        :meth:`Cluster.resize_placement`.
+        """
+        placement = instance.placement
+        config = instance.config
+        if placement is None or placement.gpu_device_id is None or config.gpu <= 0:
+            return 0.0
+        cluster = self.scheduler.cluster
+        server = cluster.server(placement.server_id)
+        if not server.healthy:
+            return 0.0
+        headroom = server.gpus[placement.gpu_device_id].free
+        if headroom <= 0:
+            return 0.0
+        choices = sorted(
+            g
+            for g in set(self.scheduler.config_space.gpu_choices)
+            if config.gpu < g <= config.gpu + headroom
+        )
+        if not choices:
+            return 0.0
+        predictor = self.scheduler.predictor
+        profile = self.scheduler.gpu_profile_for(placement.server_id)
+        old_r_up = instance.r_up
+        best = None  # (gain, gpu, t_exec, bounds)
+        for gpu in choices:
+            if profile is None:
+                t_exec = predictor.predict(
+                    function.model, config.batch, config.cpu, gpu
+                )
+            else:
+                t_exec = predictor.predict(
+                    function.model, config.batch, config.cpu, gpu,
+                    gpu_profile=profile,
+                )
+            try:
+                bounds = rate_bounds(t_exec, function.slo_s, config.batch)
+            except InfeasibleBatchError:
+                continue
+            gain = bounds.r_up - old_r_up
+            if gain <= 1e-9:
+                continue
+            if best is None or gain > best[0]:
+                best = (gain, gpu, t_exec, bounds)
+            if gain >= need_rps - 1e-9:
+                # Smallest upgrade that covers the need wins.
+                best = (gain, gpu, t_exec, bounds)
+                break
+        if best is None:
+            return 0.0
+        gain, gpu, t_exec, bounds = best
+        new_config = InstanceConfig(batch=config.batch, cpu=config.cpu, gpu=gpu)
+        new_resources = new_config.resources(
+            memory_mb=placement.resources.memory_mb
+        )
+        instance.placement = cluster.resize_placement(placement, new_resources)
+        instance.config = new_config
+        instance.t_exec_pred = t_exec
+        instance.bounds = bounds
+        # The waiting deadline tightens/loosens with the new t_exec.
+        instance.queue.timeout_s = instance.batch_timeout_s
+        self.stats.vertical_resizes += 1
+        if self.tracer.enabled:
+            self.tracer.vertical_resize(
+                function.name,
+                instance.instance_id,
+                now,
+                config.gpu,
+                gpu,
+                bounds.r_up,
+            )
+        return gain

@@ -17,10 +17,14 @@ An idle gap ``IT`` therefore hits a *warm* image iff
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.core.histogram import IdleTimeHistogram
 from repro.telemetry.tracer import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.server import Server
+    from repro.core.instance import Instance
 
 
 @dataclass(frozen=True)
@@ -69,7 +73,117 @@ class KeepAlivePolicy(Protocol):
         """Current (pre-warm, keep-alive) decision for a function."""
 
 
-class FixedKeepAlive:
+#: what :meth:`ColdStartPolicy.on_idle` may decide about an idle
+#: instance.
+IDLE_RESERVE = "reserve"  #: keep the quota allocated (LSTH prewarm=0)
+IDLE_PREFETCH = "prefetch"  #: release quota, prefetch image later
+IDLE_SWAP = "swap"  #: release quota, park weights in host RAM (Torpor)
+IDLE_DROP = "drop"  #: unload immediately
+
+
+class ColdStartPolicy(KeepAlivePolicy, Protocol):
+    """Full cold-start policy: windows plus idle/reuse transitions.
+
+    Extends :class:`KeepAlivePolicy` with the hooks the auto-scaler
+    consults when an instance enters or leaves the warm pool, so
+    policies like the Torpor-style :class:`~repro.core.swap.SwapKeepAlive`
+    can express "evict weights to host RAM, pay a PCIe swap-in on
+    reuse" without the auto-scaler hard-coding any one policy.
+    """
+
+    def keep_alive_window(
+        self, function_name: str, now: float
+    ) -> ColdStartDecision:
+        """Alias of :meth:`KeepAlivePolicy.windows` (protocol surface)."""
+
+    def on_idle(
+        self,
+        function_name: str,
+        instance: "Instance",
+        server: Optional["Server"],
+        now: float,
+    ) -> str:
+        """Warm-pool mode for an instance retiring now (IDLE_* value)."""
+
+    def on_reuse(
+        self,
+        function_name: str,
+        instance: "Instance",
+        server: Optional["Server"],
+        now: float,
+        swapped_mb: float = 0.0,
+    ) -> float:
+        """Extra startup delay (seconds) when reusing a warm instance."""
+
+
+class _DefaultColdStartHooks:
+    """Default idle/reuse transitions shared by windows-only policies.
+
+    Derives :meth:`on_idle` from the policy's own windows exactly the
+    way the auto-scaler historically did, so mixing this in changes
+    nothing for LSTH/HHP/fixed keep-alive.
+    """
+
+    def keep_alive_window(
+        self, function_name: str, now: float
+    ) -> ColdStartDecision:
+        """Windows applied at retirement (same as :meth:`windows`)."""
+        return self.windows(function_name, now)
+
+    def on_idle(
+        self,
+        function_name: str,
+        instance: "Instance",
+        server: Optional["Server"],
+        now: float,
+    ) -> str:
+        """Idle transition: drop, reserve or prefetch by the windows."""
+        decision = self.windows(function_name, now)
+        if decision.keepalive_s <= 0:
+            return IDLE_DROP
+        return IDLE_RESERVE if decision.prewarm_s <= 0 else IDLE_PREFETCH
+
+    def on_reuse(
+        self,
+        function_name: str,
+        instance: "Instance",
+        server: Optional["Server"],
+        now: float,
+        swapped_mb: float = 0.0,
+    ) -> float:
+        """Reuse delay in seconds (free for quota-holding policies)."""
+        return 0.0
+
+
+#: registry names accepted by :func:`build_coldstart_policy` (and the
+#: ``coldstart=`` knob of the Experiment facade / CLI / campaigns).
+COLDSTART_POLICIES = ("lsth", "swap", "fixed")
+
+
+def build_coldstart_policy(name: str, **kwargs) -> "ColdStartPolicy":
+    """Build a cold-start policy by registry name.
+
+    ``"lsth"`` is the paper's Long-Short Term Histogram, ``"swap"``
+    the Torpor-style host-RAM weight swapping policy, ``"fixed"`` the
+    constant keep-alive of commercial platforms.  Keyword arguments are
+    forwarded to the policy constructor (e.g. ``gamma=`` for LSTH,
+    ``keepalive_s=`` for swap/fixed).
+    """
+    if name == "lsth":
+        from repro.core.lsth import LongShortTermHistogram
+
+        return LongShortTermHistogram(_from_registry=True, **kwargs)
+    if name == "swap":
+        from repro.core.swap import SwapKeepAlive
+
+        return SwapKeepAlive(**kwargs)
+    if name == "fixed":
+        return FixedKeepAlive(**kwargs)
+    known = ", ".join(COLDSTART_POLICIES)
+    raise ValueError(f"unknown cold-start policy {name!r} (known: {known})")
+
+
+class FixedKeepAlive(_DefaultColdStartHooks):
     """The fixed keep-alive of commercial platforms and OpenFaaS+.
 
     Never pre-warms; keeps every idle image loaded for a constant
@@ -87,10 +201,11 @@ class FixedKeepAlive:
         """Fixed policies ignore the invocation history."""
 
     def windows(self, function_name: str, now: float) -> ColdStartDecision:
+        """The constant keep-alive window, no pre-warming."""
         return ColdStartDecision(prewarm_s=0.0, keepalive_s=self.keepalive_s)
 
 
-class WindowedKeepAlive:
+class WindowedKeepAlive(_DefaultColdStartHooks):
     """Shared machinery for histogram-driven policies (HHP, LSTH).
 
     Tracks per-function last-invocation times and feeds idle gaps into
@@ -133,6 +248,7 @@ class WindowedKeepAlive:
         return self._histograms[function_name]
 
     def record_invocation(self, function_name: str, now: float) -> None:
+        """Feed the idle gap since the last invocation to the histograms."""
         last = self._last_invocation.get(function_name)
         self._last_invocation[function_name] = now
         if last is None:

@@ -15,12 +15,11 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.cluster.cluster import Cluster
-from repro.core.autoscaler import AutoScaler, ScalingAction
-from repro.core.coldstart import KeepAlivePolicy
+from repro.core.autoscaler import AutoScaler, HybridAutoScaler, ScalingAction
+from repro.core.coldstart import KeepAlivePolicy, build_coldstart_policy
 from repro.core.dispatcher import ALPHA_DEFAULT
 from repro.core.function import FunctionSpec
 from repro.core.instance import Instance
-from repro.core.lsth import LongShortTermHistogram
 from repro.core.scheduler import GreedyScheduler
 from repro.faults.resilience import backlog_sheds
 from repro.profiling.configspace import ConfigSpace
@@ -40,7 +39,13 @@ class INFlessEngine:
             omitted.
         name: platform name used in reports and benchmarks.
         seed: seed for the weighted request router.
-        policy: keep-alive policy (defaults to LSTH with gamma = 0.5).
+        policy: keep-alive policy object (defaults to LSTH with
+            gamma = 0.5); mutually exclusive with ``coldstart``.
+        coldstart: cold-start policy registry name
+            (:data:`repro.core.coldstart.COLDSTART_POLICIES`).
+        autoscaler: ``"horizontal"`` (the paper's scale-out-only
+            AutoScaler) or ``"hybrid"`` (vertical SM-quota growth
+            before horizontal spawn).
         config_space: the discrete instance configuration space.
         alpha: dispatcher oscillation-damping constant (paper: 0.8).
     """
@@ -61,17 +66,24 @@ class INFlessEngine:
         name: str = "infless",
         seed: int = 123,
         policy: Optional[KeepAlivePolicy] = None,
+        coldstart: Optional[str] = None,
+        autoscaler: str = "horizontal",
         config_space: Optional[ConfigSpace] = None,
         alpha: float = ALPHA_DEFAULT,
     ) -> None:
+        if policy is not None and coldstart is not None:
+            raise ValueError("pass either policy= or coldstart=, not both")
+        if autoscaler not in ("horizontal", "hybrid"):
+            raise ValueError("autoscaler must be 'horizontal' or 'hybrid'")
         self.name = name
         self.cluster = cluster
         self.predictor = predictor or build_default_predictor()
-        self.policy = policy or LongShortTermHistogram()
+        self.policy = policy or build_coldstart_policy(coldstart or "lsth")
         self.scheduler = GreedyScheduler(
             cluster, self.predictor, config_space=config_space
         )
-        self.autoscaler = AutoScaler(self.scheduler, self.policy, alpha=alpha)
+        scaler_cls = HybridAutoScaler if autoscaler == "hybrid" else AutoScaler
+        self.autoscaler = scaler_cls(self.scheduler, self.policy, alpha=alpha)
         self._functions: Dict[str, FunctionSpec] = {}
         self._rng = np.random.default_rng(seed)
         # name -> (autoscaler version, valid-until time, chosen
@@ -190,7 +202,9 @@ class INFlessEngine:
         """
         lost_placements = self.cluster.fail_server(server_id)
         ids = {placement.placement_id for placement in lost_placements}
-        return self.autoscaler.evict_lost(ids, now)
+        return self.autoscaler.evict_lost(
+            ids, now, failed_server_ids={server_id}
+        )
 
     def handle_server_failure(self, server_id: int, now: float) -> List[Instance]:
         """Deprecated alias of :meth:`on_server_failure`."""

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.fleet import GpuProfile, profile_map
 from repro.cluster.resources import ResourceVector
 from repro.core.batching import InfeasibleBatchError, RateBounds, rate_bounds
 from repro.core.efficiency import resource_efficiency, rps_per_resource
@@ -115,6 +116,25 @@ class GreedyScheduler:
         #: reading of the paper's "evaluate the best beta" -- a static
         #: FLOPS ratio strands whichever resource runs out first.
         self.dynamic_beta = dynamic_beta
+        #: server_id -> non-default GPU generation.  Empty on the
+        #: homogeneous baseline fleet, which keeps every default code
+        #: path (cache keys, scan order) bit-identical.
+        self._gpu_profiles: Dict[int, GpuProfile] = profile_map(cluster)
+        self._hetero = bool(self._gpu_profiles)
+        #: distinct non-default generations, name-sorted for
+        #: deterministic candidate enumeration; the leading ``None``
+        #: stands for the calibration baseline and also supplies the
+        #: generation-independent CPU-only rows.
+        profiles: Dict[str, GpuProfile] = {
+            p.name: p for p in self._gpu_profiles.values()
+        }
+        self._profile_order: List[Optional[GpuProfile]] = [None] + [
+            profiles[name] for name in sorted(profiles)
+        ]
+
+    def gpu_profile_for(self, server_id: int) -> Optional[GpuProfile]:
+        """The server's non-default GPU generation (None = baseline)."""
+        return self._gpu_profiles.get(server_id)
 
     def _efficiency_beta(self) -> float:
         """The beta used inside Eq. 10 at the current cluster state."""
@@ -136,22 +156,47 @@ class GreedyScheduler:
     # AvailableConfig (Algorithm 1, lines 16-27)
     # ------------------------------------------------------------------
     def available_configs(
-        self, function: FunctionSpec, batch: int, residual_rps: float
+        self,
+        function: FunctionSpec,
+        batch: int,
+        residual_rps: float,
+        gpu_profile: Optional[GpuProfile] = None,
     ) -> List[Tuple[InstanceConfig, float, RateBounds]]:
         """Feasible ``<b, c, g>`` configurations for one batchsize.
 
         Returns (config, t_exec, bounds) triples that satisfy the SLO
         constraints and, for ``b > 1``, can be saturated by the
-        residual load (``R_k >= r_low``).
+        residual load (``R_k >= r_low``).  With ``gpu_profile`` set the
+        rows are priced for that GPU generation (and CPU-only pairs are
+        skipped -- they are generation-independent and already covered
+        by the profile-free rows).
         """
-        cache_key = (function.name, function.model.name, function.slo_s, batch)
+        if gpu_profile is None:
+            cache_key = (
+                function.name, function.model.name, function.slo_s, batch,
+            )
+        else:
+            cache_key = (
+                function.name, function.model.name, function.slo_s, batch,
+                gpu_profile.name,
+            )
         rows = self._config_cache.get(cache_key)
         if rows is None:
             rows = []
             t_slo = function.slo_s
             for cpu, gpu in self.config_space.resource_pairs():
                 config = InstanceConfig(batch=batch, cpu=cpu, gpu=gpu)
-                t_exec = self.predictor.predict(function.model, batch, cpu, gpu)
+                if gpu_profile is None:
+                    t_exec = self.predictor.predict(
+                        function.model, batch, cpu, gpu
+                    )
+                else:
+                    if gpu == 0:
+                        continue
+                    t_exec = self.predictor.predict(
+                        function.model, batch, cpu, gpu,
+                        gpu_profile=gpu_profile,
+                    )
                 try:
                     bounds = rate_bounds(t_exec, t_slo, batch)
                 except InfeasibleBatchError:
@@ -211,12 +256,53 @@ class GreedyScheduler:
             if (
                 server.healthy
                 and cpu <= server.cpu_free
-                and memory <= server.memory_free_mb
+                and memory <= server.memory_free_mb - server.swap_reserved_mb
                 and (
                     gpu == 0
                     or (gpu_ok and gpu <= server._gpu_free_max)
                 )
             ):
+                return server_id
+        return None
+
+    def _best_server_for_profile(
+        self,
+        resources: ResourceVector,
+        sorted_free: List[Tuple[float, int]],
+        beta: float,
+        gpu_profile: Optional[GpuProfile],
+    ) -> Optional[int]:
+        """The heterogeneous-fleet variant of :meth:`_best_server_for`.
+
+        GPU rows are priced per generation, so a row is only feasible
+        on servers of the generation it was priced for (``None`` means
+        the calibration baseline).  Kept separate so the homogeneous
+        scan stays branch-free.
+        """
+        cost = resources.weighted(beta)
+        start = bisect.bisect_left(sorted_free, (cost - 1e-9, -1))
+        server_of = self.cluster.server
+        profile_of = self._gpu_profiles.get
+        want = None if gpu_profile is None else gpu_profile.name
+        cpu = resources.cpu
+        memory = resources.memory_mb
+        gpu = resources.gpu
+        gpu_ok = 0 < gpu <= 100
+        for index in range(start, len(sorted_free)):
+            server_id = sorted_free[index][1]
+            server = server_of(server_id)
+            if not (
+                server.healthy
+                and cpu <= server.cpu_free
+                and memory <= server.memory_free_mb - server.swap_reserved_mb
+            ):
+                continue
+            if gpu == 0:
+                return server_id
+            if not (gpu_ok and gpu <= server._gpu_free_max):
+                continue
+            have = profile_of(server_id)
+            if (None if have is None else have.name) == want:
                 return server_id
         return None
 
@@ -300,14 +386,21 @@ class GreedyScheduler:
     ) -> Optional[Instance]:
         """One iteration of the outer while loop: place one instance."""
         for batch in batches:
-            candidates = self.available_configs(function, batch, remaining)
-            if not candidates:
-                continue  # try the next largest batchsize
-            best = self._select_placement(
-                function, candidates, sorted_free, remaining
-            )
-            if best is None:
-                continue
+            if self._hetero and self.selection == "efficiency":
+                best = self._select_placement_hetero(
+                    function, batch, sorted_free, remaining
+                )
+                if best is None:
+                    continue
+            else:
+                candidates = self.available_configs(function, batch, remaining)
+                if not candidates:
+                    continue  # try the next largest batchsize
+                best = self._select_placement(
+                    function, candidates, sorted_free, remaining
+                )
+                if best is None:
+                    continue
             config, t_exec, bounds, server_id = best
             resources = self._instance_resources(function, config)
             placement = self.cluster.allocate(server_id, resources)
@@ -358,6 +451,72 @@ class GreedyScheduler:
         for (config, t_exec, bounds), density in zip(candidates, densities):
             resources = self._instance_resources(function, config)
             server_id = self._best_server_for(resources, sorted_free, beta)
+            if server_id is None:
+                continue
+            server = self.cluster.server(server_id)
+            score = resource_efficiency(
+                min(bounds.r_up, remaining),
+                config.cpu,
+                config.gpu,
+                server.cpu_free,
+                server.gpu_free,
+                beta=beta,
+                normaliser=normaliser,
+            )
+            if score > best_score:
+                best_score = score
+                best = (config, t_exec, bounds, server_id)
+        return best
+
+    def _select_placement_hetero(
+        self, function, batch, sorted_free, remaining
+    ):
+        """Eq. 10 argmax over (config, generation, server) triples.
+
+        Each GPU generation prices the same ``<b, c, g>`` grid
+        differently, so candidates are enumerated per generation
+        (profile-free rows cover CPU-only configs and baseline-rate
+        servers) and a row may only land on servers of its generation.
+        The densities are normalised across the *union* of rows so
+        Eq. 10 still compares generations against each other.
+        """
+        beta = self._efficiency_beta()
+        pools = []
+        for profile in self._profile_order:
+            rows = self.available_configs(
+                function, batch, remaining, gpu_profile=profile
+            )
+            if profile is None:
+                # CPU-only rows are generation-independent: they may
+                # land anywhere, including GPU-less and non-baseline
+                # servers.
+                pools.extend(
+                    (row, None, row[0].gpu == 0) for row in rows
+                )
+            else:
+                pools.extend((row, profile, False) for row in rows)
+        if not pools:
+            return None
+        densities = [
+            rps_per_resource(
+                min(row[2].r_up, remaining), row[0].cpu, row[0].gpu, beta
+            )
+            for row, _profile, _any_server in pools
+        ]
+        normaliser = max(densities)
+        best_score = -1.0
+        best = None
+        for (row, profile, any_server), density in zip(pools, densities):
+            config, t_exec, bounds = row
+            resources = self._instance_resources(function, config)
+            if any_server:
+                server_id = self._best_server_for(
+                    resources, sorted_free, beta
+                )
+            else:
+                server_id = self._best_server_for_profile(
+                    resources, sorted_free, beta, profile
+                )
             if server_id is None:
                 continue
             server = self.cluster.server(server_id)

@@ -1,0 +1,94 @@
+"""Torpor-style keep-alive: swap model weights to host RAM when idle.
+
+Instead of holding GPU quota through the keep-alive window (LSTH with
+``prewarm = 0``) or unloading outright, the policy evicts an idle
+instance's model weights to its server's host memory.  The GPU quota
+and device memory are freed immediately; on reuse the weights stream
+back over PCIe, so the "cold start" shrinks from a full container +
+model load to one host-to-device copy whose cost is
+``weights_mb / pcie_gbps`` of the hosting server's GPU generation
+(:class:`~repro.cluster.fleet.GpuProfile`).
+
+The host-RAM parking space is finite: reservations are charged against
+the server's ``memory_capacity_mb`` through the
+``Server.swap_reserve``/``swap_release`` ledger, and when host memory
+is full the policy degrades to a plain unload -- exactly Torpor's
+behaviour when the host-side cache overflows (FaaSwap/Torpor,
+PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.coldstart import (
+    ColdStartDecision,
+    IDLE_DROP,
+    IDLE_SWAP,
+    _DefaultColdStartHooks,
+)
+from repro.telemetry.tracer import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.server import Server
+    from repro.core.instance import Instance
+
+#: weights carry the same 1.6x runtime-copy factor the placement
+#: footprint uses (ModelSpec.memory_mb), without the serving library
+#: or activation buffers -- only the weights travel over PCIe.
+WEIGHTS_FACTOR = 1.6
+
+
+def swap_weights_mb(instance: "Instance") -> float:
+    """Host-RAM footprint of an instance's evicted model weights."""
+    return instance.function.model.model_size_mb * WEIGHTS_FACTOR
+
+
+class SwapKeepAlive(_DefaultColdStartHooks):
+    """Keep models warm in host RAM, not on the GPU (Torpor-style).
+
+    Args:
+        keepalive_s: how long evicted weights stay parked in host RAM
+            before the instance is fully unloaded.
+    """
+
+    def __init__(self, keepalive_s: float = 600.0) -> None:
+        if keepalive_s < 0:
+            raise ValueError("keepalive must be non-negative")
+        self.keepalive_s = keepalive_s
+        self.name = f"swap-{int(keepalive_s)}s"
+        self.tracer = NULL_TRACER
+
+    def record_invocation(self, function_name: str, now: float) -> None:
+        """The swap window is fixed; history is not tracked."""
+
+    def windows(self, function_name: str, now: float) -> ColdStartDecision:
+        """The fixed swap-parking window, no pre-warming."""
+        return ColdStartDecision(prewarm_s=0.0, keepalive_s=self.keepalive_s)
+
+    def on_idle(
+        self,
+        function_name: str,
+        instance: "Instance",
+        server: Optional["Server"],
+        now: float,
+    ) -> str:
+        """Park weights in host RAM (plain drop when windowless)."""
+        if self.keepalive_s <= 0 or server is None:
+            return IDLE_DROP
+        return IDLE_SWAP
+
+    def on_reuse(
+        self,
+        function_name: str,
+        instance: "Instance",
+        server: Optional["Server"],
+        now: float,
+        swapped_mb: float = 0.0,
+    ) -> float:
+        """PCIe swap-in delay for the weights parked in host RAM."""
+        if swapped_mb <= 0 or server is None:
+            return 0.0
+        from repro.cluster.fleet import server_gpu_profile
+
+        return server_gpu_profile(server).swap_in_delay_s(swapped_mb)

@@ -12,8 +12,9 @@ Checked families:
 * **resource conservation** -- per healthy server,
   ``allocated + free == capacity`` in every dimension, no free pool
   ever negative or above capacity, the per-device GPU bookkeeping sums
-  to the server aggregates, and (at finalize) every outstanding
-  placement is owned by a live instance or warm-pool entry;
+  to the server aggregates, the host-RAM swap ledger matches the warm
+  pool's parked weights, and (at finalize) every outstanding placement
+  is owned by a live instance or warm-pool entry;
 * **latency-decomposition tiling** -- each completed request's
   ``cold_wait + queue_wait + exec`` tiles ``arrival -> completion``
   (exactly for single-stage runs, as a lower bound for chained ones)
@@ -200,6 +201,17 @@ class InvariantChecker:
         by_server: Dict[int, List[object]] = {}
         for placement in cluster.placements:
             by_server.setdefault(placement.server_id, []).append(placement)
+        # Host-RAM swap ledger (Torpor-style policies): parked weights
+        # per server, summed from the warm pool's swap entries.
+        swap_by_server: Dict[int, float] = {}
+        owner = self._registry_owner(sim.platform)
+        for entries in getattr(owner, "_warm", {}).values():
+            for entry in entries:
+                swap_server = getattr(entry, "swap_server_id", None)
+                if swap_server is not None:
+                    swap_by_server[swap_server] = swap_by_server.get(
+                        swap_server, 0.0
+                    ) + getattr(entry, "swap_mb", 0.0)
         for server in cluster.servers:
             if not server.healthy:
                 continue
@@ -255,6 +267,26 @@ class InvariantChecker:
                         server=server.server_id,
                         dimension=dim,
                     )
+            swap = getattr(server, "swap_reserved_mb", 0.0)
+            if swap < 0 or swap > server.memory_free_mb + TOL:
+                self._flag(
+                    "resource_conservation",
+                    now,
+                    f"server {server.server_id}: swap ledger {swap:.1f} MB"
+                    f" outside [0, free memory {server.memory_free_mb}]",
+                    server=server.server_id,
+                    dimension="swap_mb",
+                )
+            parked = swap_by_server.get(server.server_id, 0.0)
+            if abs(parked - swap) > TOL:
+                self._flag(
+                    "resource_conservation",
+                    now,
+                    f"server {server.server_id}: warm-pool swapped weights"
+                    f" sum to {parked:.1f} MB but ledger holds {swap:.1f} MB",
+                    server=server.server_id,
+                    dimension="swap_mb",
+                )
 
     def check_placement_ownership(self, sim: object, now: float) -> None:
         """Every outstanding placement belongs to a tracked instance."""

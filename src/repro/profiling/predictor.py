@@ -10,7 +10,7 @@ profile noise and un-modelled overheads.
 from __future__ import annotations
 
 import functools
-from typing import Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro.models.zoo import ModelSpec, get_model
 from repro.ops.costmodel import CostModel, DEFAULT_HARDWARE, HardwareSpec
@@ -18,6 +18,9 @@ from repro.ops.operator import OperatorSpec
 from repro.profiling.configspace import ConfigSpace
 from repro.profiling.database import ProfileDatabase
 from repro.profiling.profiler import OperatorProfiler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.fleet import GpuProfile
 
 #: the paper's choice: "we choose to increase the prediction offset by
 #: 10% to reduce the risk of SLO violations from prediction errors".
@@ -37,10 +40,14 @@ class LatencyPredictor:
             raise ValueError("safety offset must be >= 1.0")
         self.database = database
         self.safety_offset = safety_offset
+        self._hardware = hardware
         # The platform measures its own serving-framework overhead once
         # (RPC + serialisation); operator profiles do not contain it.
         self._serving = CostModel(hardware)
         self._cache: Dict[Tuple[str, int, int, int], float] = {}
+        # GPU generation name -> predictor profiled at that generation's
+        # rate: COP keys its profiles by (model, config, gpu_profile).
+        self._profile_predictors: Dict[str, "LatencyPredictor"] = {}
 
     # ------------------------------------------------------------------
     # prediction
@@ -66,14 +73,45 @@ class LatencyPredictor:
         combined = spec.graph.critical_path_time(op_time)
         return combined + self._serving.serving_overhead(batch)
 
+    def _profile_predictor(
+        self, gpu_profile: "GpuProfile"
+    ) -> "LatencyPredictor":
+        """The predictor profiled at one GPU generation's rate (cached)."""
+        sub = self._profile_predictors.get(gpu_profile.name)
+        if sub is None:
+            from repro.cluster.fleet import hardware_for_profile
+
+            sub = build_default_predictor(
+                hardware=hardware_for_profile(gpu_profile),
+                safety_offset=self.safety_offset,
+            )
+            self._profile_predictors[gpu_profile.name] = sub
+        return sub
+
     def predict(
-        self, model: Union[ModelSpec, str], batch: int, cpu: int, gpu: int
+        self,
+        model: Union[ModelSpec, str],
+        batch: int,
+        cpu: int,
+        gpu: int,
+        gpu_profile: Optional["GpuProfile"] = None,
     ) -> float:
         """Predicted ``t_exec`` in seconds, including the safety offset.
 
         Results are memoised: the scheduler queries the same
-        configurations repeatedly while exploring (Algorithm 1).
+        configurations repeatedly while exploring (Algorithm 1).  On a
+        heterogeneous fleet ``gpu_profile`` keys the profile database
+        by GPU generation; CPU-only configurations and the calibration
+        baseline fold onto the profile-free path.
         """
+        if (
+            gpu_profile is not None
+            and gpu > 0
+            and gpu_profile.total_gflops != self._hardware.gpu_total_gflops
+        ):
+            return self._profile_predictor(gpu_profile).predict(
+                model, batch, cpu, gpu
+            )
         spec = get_model(model) if isinstance(model, str) else model
         key = (spec.name, batch, cpu, gpu)
         cached = self._cache.get(key)
@@ -101,7 +139,7 @@ class LatencyPredictor:
         return abs(predicted - actual_time) / actual_time
 
 
-@functools.lru_cache(maxsize=4)
+@functools.lru_cache(maxsize=8)
 def build_default_predictor(
     hardware: HardwareSpec = DEFAULT_HARDWARE,
     config_space: Optional[ConfigSpace] = None,
@@ -111,9 +149,13 @@ def build_default_predictor(
     """Profile the full operator catalog once and build a predictor.
 
     Cached because profiling the whole catalog over the configuration
-    grid is the expensive offline step; tests and benchmarks share it.
+    grid is the expensive offline step; tests and benchmarks share it
+    (one entry per GPU generation on heterogeneous fleets).
     """
     profiler = OperatorProfiler(
         hardware=hardware, config_space=config_space or ConfigSpace(), seed=seed
     )
-    return LatencyPredictor(profiler.build_database(), safety_offset=safety_offset)
+    return LatencyPredictor(
+        profiler.build_database(), safety_offset=safety_offset,
+        hardware=hardware,
+    )

@@ -37,6 +37,7 @@ from typing import Deque, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.cluster.fleet import profile_map
 from repro.core.instance import Instance, InstanceState
 from repro.faults import (
     ColdStartStraggler,
@@ -252,6 +253,11 @@ class ServingSimulation:
             attach_tracer(platform, self.tracer)
         self.timeline = timeline
         self.invariants = resolve_checker(invariants)
+        #: server_id -> non-default GPU generation; empty on the
+        #: homogeneous baseline fleet, keeping the default execution
+        #: path (argument lists, cache keys) bit-identical.
+        cluster = getattr(platform, "cluster", None)
+        self._gpu_profiles = profile_map(cluster) if cluster is not None else {}
         self._rng = np.random.default_rng(seed)
         self.loop = EventLoop()
         self.metrics = MetricsCollector(
@@ -505,13 +511,28 @@ class ServingSimulation:
         instance.busy = True
         instance.idle_since = None
         model = instance.function.model
-        exec_s = self.executor.execution_time(
-            model,
-            len(requests),
-            instance.config.cpu,
-            instance.config.gpu,
-            rng=self._rng,
-        )
+        gpu_profile = None
+        if self._gpu_profiles and instance.placement is not None:
+            gpu_profile = self._gpu_profiles.get(instance.placement.server_id)
+        if gpu_profile is None:
+            # Homogeneous path: call exactly as before so duck-typed
+            # executors without the kwarg keep working.
+            exec_s = self.executor.execution_time(
+                model,
+                len(requests),
+                instance.config.cpu,
+                instance.config.gpu,
+                rng=self._rng,
+            )
+        else:
+            exec_s = self.executor.execution_time(
+                model,
+                len(requests),
+                instance.config.cpu,
+                instance.config.gpu,
+                rng=self._rng,
+                gpu_profile=gpu_profile,
+            )
         batch_id = 0
         if self.tracer.enabled:
             config = instance.config

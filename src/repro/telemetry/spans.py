@@ -71,6 +71,7 @@ SCALE_UP = "scale_up"
 SCALE_DOWN = "scale_down"
 COLD_START = "cold_start"
 COLDSTART_DECISION = "coldstart_decision"
+VERTICAL_RESIZE = "vertical_resize"
 SERVER_FAILURE = "server_failure"
 SERVER_RECOVERY = "server_recovery"
 REQUEST_RETRY = "request_retry"

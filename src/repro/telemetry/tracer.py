@@ -126,6 +126,17 @@ class Tracer:
     ) -> None:
         """A keep-alive policy recomputed its (pre-warm, keep-alive) pair."""
 
+    def vertical_resize(
+        self,
+        function: str,
+        instance: int,
+        ts: float,
+        old_gpu: int,
+        new_gpu: int,
+        r_up: float,
+    ) -> None:
+        """The hybrid scaler grew an instance's SM quota in place."""
+
     # -- faults ----------------------------------------------------------
     def server_failure(self, ts: float, server: int, lost: int) -> None:
         """An injected machine loss took ``lost`` instances down."""
@@ -360,6 +371,25 @@ class InMemoryTracer(Tracer):
             function=function,
             prewarm_s=prewarm_s,
             keepalive_s=keepalive_s,
+        )
+
+    def vertical_resize(
+        self,
+        function: str,
+        instance: int,
+        ts: float,
+        old_gpu: int,
+        new_gpu: int,
+        r_up: float,
+    ) -> None:
+        self._emit(
+            ts,
+            ev.VERTICAL_RESIZE,
+            function=function,
+            instance=self._instance(instance),
+            old_gpu=old_gpu,
+            new_gpu=new_gpu,
+            r_up=r_up,
         )
 
     # -- faults ------------------------------------------------------------

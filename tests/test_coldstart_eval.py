@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import FixedKeepAlive, HybridHistogramPolicy, LongShortTermHistogram
+from repro.core import FixedKeepAlive, HybridHistogramPolicy, build_coldstart_policy
 from repro.core.coldstart import ColdStartDecision
 from repro.simulation import compare_policies, evaluate_policy
 from repro.workloads import coldstart_fleet_invocations
@@ -86,7 +86,7 @@ class TestFig16Regression:
     def evaluations(self, fleet):
         policies = [
             HybridHistogramPolicy(),
-            LongShortTermHistogram(gamma=0.5),
+            build_coldstart_policy("lsth", gamma=0.5),
             FixedKeepAlive(600.0),
         ]
         results = compare_policies(policies, fleet)

@@ -1,11 +1,23 @@
 """Unit tests for keep-alive policies: fixed, HHP and LSTH."""
 
+import warnings
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import FixedKeepAlive, HybridHistogramPolicy, LongShortTermHistogram
+from repro.core import (
+    FixedKeepAlive,
+    HybridHistogramPolicy,
+    LongShortTermHistogram,
+    build_coldstart_policy,
+)
 from repro.core.coldstart import ColdStartDecision
 from repro.core.histogram import IdleTimeHistogram
+
+
+def lsth(**kwargs):
+    """LSTH via the registry (direct construction is deprecated)."""
+    return build_coldstart_policy("lsth", **kwargs)
 
 
 class TestColdStartDecision:
@@ -158,21 +170,30 @@ class TestHybridHistogramPolicy:
 
 
 class TestLongShortTermHistogram:
+    def test_direct_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="build_coldstart_policy"):
+            LongShortTermHistogram()
+
+    def test_registry_construction_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            lsth(gamma=0.5)
+
     def test_gamma_validation(self):
         with pytest.raises(ValueError):
-            LongShortTermHistogram(gamma=1.5)
+            lsth(gamma=1.5)
 
     def test_duration_ordering_validation(self):
         with pytest.raises(ValueError):
-            LongShortTermHistogram(short_duration_s=7200.0, long_duration_s=3600.0)
+            lsth(short_duration_s=7200.0, long_duration_s=3600.0)
 
     def test_default_until_any_history(self):
-        policy = LongShortTermHistogram()
+        policy = lsth()
         assert policy.windows("fn", 0.0) == policy.DEFAULT_DECISION
 
     def test_blends_short_and_long_views(self):
-        policy = LongShortTermHistogram(gamma=0.5)
-        long_only = LongShortTermHistogram(gamma=1.0)
+        policy = lsth(gamma=0.5)
+        long_only = lsth(gamma=1.0)
         # Long history of 600 s gaps, then >1 h of recent 100 s gaps.
         for target in (policy, long_only):
             t = feed_regular(target, "fn", 600.0, 120)
@@ -186,19 +207,19 @@ class TestLongShortTermHistogram:
         assert blended_horizon < long_horizon
 
     def test_remembers_beyond_hhp_window(self):
-        lsth = LongShortTermHistogram()
+        long_short = lsth()
         hhp = HybridHistogramPolicy(duration_s=4 * 3600.0)
-        for policy in (lsth, hhp):
+        for policy in (long_short, hhp):
             feed_regular(policy, "fn", 1800.0, 40)  # 20 hours of history
         now = 40 * 1800.0 + 5 * 3600.0  # five quiet hours later
         assert hhp.windows("fn", now) == hhp.DEFAULT_DECISION
-        assert lsth.windows("fn", now) != lsth.DEFAULT_DECISION
+        assert long_short.windows("fn", now) != long_short.DEFAULT_DECISION
 
     def test_short_window_activates_on_three_observations(self):
-        policy = LongShortTermHistogram()
+        policy = lsth()
         last = feed_regular(policy, "fn", 900.0, 4)
         decision = policy.windows("fn", last)
         assert decision != policy.DEFAULT_DECISION
 
     def test_name_includes_gamma(self):
-        assert LongShortTermHistogram(gamma=0.7).name == "lsth-g0.7"
+        assert lsth(gamma=0.7).name == "lsth-g0.7"

@@ -34,6 +34,18 @@ class TestBuilder:
         with pytest.raises(ValueError):
             build_mixed_cluster(gpu_servers=0, cpu_servers=0)
 
+    def test_gpuless_gpu_servers_rejected(self):
+        # Regression: a "GPU server" with zero devices silently became
+        # an undersized CPU box and skewed the scarcity-beta pricing.
+        with pytest.raises(ValueError, match="gpus_per_gpu_server"):
+            build_mixed_cluster(gpu_servers=2, gpus_per_gpu_server=0)
+
+    def test_zero_gpus_fine_without_gpu_servers(self):
+        cluster = build_mixed_cluster(
+            gpu_servers=0, cpu_servers=2, gpus_per_gpu_server=0
+        )
+        assert all(s.num_gpus == 0 for s in cluster.servers)
+
     def test_describe(self):
         text = describe_cluster(build_mixed_cluster(2, 3))
         assert "2 GPU" in text and "3 CPU-only" in text

@@ -39,7 +39,18 @@ for index in range(n):
     if index % 100 == 0:
         metrics.record_usage(now, 40.0, 8.0, 50.0, 0.1)
 report = metrics.finalize(duration_s=n * 1e-3)
-peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+# ru_maxrss survives fork+exec on Linux (it lives in the signal
+# struct, not the mm), so a big pytest parent would mask this fresh
+# process's true peak; VmHWM is mm-scoped and resets on exec.
+try:
+    with open("/proc/self/status") as status:
+        peak_kb = next(
+            int(line.split()[1])
+            for line in status
+            if line.startswith("VmHWM:")
+        )
+except (OSError, StopIteration):
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 print(json.dumps({
     "peak_kb": peak_kb,
     "completed": report.completed,
