@@ -32,6 +32,12 @@ from repro.profiling.predictor import LatencyPredictor, build_default_predictor
 from repro.simulation.metrics import SimulationReport
 from repro.simulation.runtime import ServingSimulation
 from repro.telemetry import InMemoryTracer, TimelineRecorder, Tracer
+from repro.workflows import (
+    WORKFLOW_POLICIES,
+    CoPlacementHint,
+    WorkflowSpec,
+    decompose_slo,
+)
 from repro.workloads.trace import Trace
 
 #: version tag of the :meth:`Experiment.to_spec` schema.
@@ -130,6 +136,16 @@ class Experiment:
             :class:`~repro.telemetry.TimelineRecorder`.
         invariants: audit mode (``"off"``/``"collect"``/``"strict"``)
             or a pre-built checker; None resolves the process default.
+        workflow: a DAG :class:`~repro.workflows.WorkflowSpec` (or its
+            dict form, a path to a workflow JSON file, or a preset name
+            like ``"osvt"``).  Stage FunctionSpecs are synthesized from
+            the DAG with per-stage SLO budgets decomposed from the
+            end-to-end SLO; mutually exclusive with ``functions=`` and
+            the deprecated linear ``chains=``.
+        workflow_policy: ``"decomposed"`` (default; ESG-style budget
+            split plus the co-placement scheduling hint) or
+            ``"independent"`` (every stage gets the full end-to-end
+            budget, no co-placement -- the naive baseline).
         engine: ``"des"`` (default) replays every request through the
             discrete event loop; ``"fluid"`` integrates the
             continuous-time approximation
@@ -171,6 +187,8 @@ class Experiment:
         cold_queue_batches: int = 64,
         chains: Optional[Dict[str, str]] = None,
         end_to_end_slo_s: Optional[float] = None,
+        workflow: Union[None, WorkflowSpec, Dict[str, object], str] = None,
+        workflow_policy: str = "decomposed",
         metrics_mode: str = "exact",
         arrival_mode: str = "eager",
         arrival_window_s: float = 60.0,
@@ -223,6 +241,35 @@ class Experiment:
         self.cold_queue_batches = cold_queue_batches
         self.chains = chains
         self.end_to_end_slo_s = end_to_end_slo_s
+        self.workflow = WorkflowSpec.coerce(workflow)
+        if workflow_policy not in WORKFLOW_POLICIES:
+            known = ", ".join(WORKFLOW_POLICIES)
+            raise ValueError(
+                f"unknown workflow policy {workflow_policy!r} (known: {known})"
+            )
+        self.workflow_policy = workflow_policy
+        if self.workflow is not None:
+            if self.chains:
+                raise ValueError("pass either workflow= or chains=, not both")
+            if self.functions is not None:
+                raise ValueError(
+                    "workflow= synthesizes its stage functions from the DAG"
+                    " (SLO decomposition); pass either workflow= or"
+                    " functions=, not both"
+                )
+            unsupported = [
+                label
+                for label, value in (
+                    ("faults", self.faults),
+                    ("resilience", self.resilience),
+                )
+                if value
+            ]
+            if unsupported:
+                raise ValueError(
+                    "workflow= runs on the plain discrete-event loop; it"
+                    f" does not support: {', '.join(unsupported)} yet"
+                )
         self.metrics_mode = metrics_mode
         self.arrival_mode = arrival_mode
         self.arrival_window_s = arrival_window_s
@@ -292,6 +339,11 @@ class Experiment:
                     "function chains are not supported on autoregressive"
                     " platforms"
                 )
+            if self.workflow is not None:
+                raise ValueError(
+                    "workflows are not supported on autoregressive"
+                    " platforms (single-shot serving only)"
+                )
             if self.metrics_mode != "exact" or self.arrival_mode != "eager":
                 raise ValueError(
                     "sketch metrics / windowed arrivals are not supported"
@@ -311,6 +363,14 @@ class Experiment:
                 seed=self.seed,
             )
             return self.simulation
+        if self.workflow is not None:
+            for function in self._stage_functions():
+                self.platform.deploy(function)
+            scheduler = getattr(self.platform, "scheduler", None)
+            if self.workflow_policy == "decomposed" and hasattr(
+                scheduler, "coplacement"
+            ):
+                scheduler.coplacement = CoPlacementHint(self.workflow)
         self.simulation = ServingSimulation(
             platform=self.platform,
             executor=self.executor or GroundTruthExecutor(),
@@ -323,6 +383,7 @@ class Experiment:
             warmup_s=self.warmup_s,
             chains=self.chains,
             end_to_end_slo_s=self.end_to_end_slo_s,
+            workflow=self.workflow,
             tracer=self.tracer,
             timeline=self.timeline,
             invariants=self.invariants,
@@ -334,6 +395,25 @@ class Experiment:
             seed=self.seed,
         )
         return self.simulation
+
+    def _stage_functions(self) -> list:
+        """Synthesize per-stage FunctionSpecs from the workflow DAG.
+
+        Each stage's SLO is its share of the end-to-end budget under
+        the configured decomposition policy (ESG-style proportional
+        split along the critical path, or the full budget everywhere
+        for the ``"independent"`` baseline).
+        """
+        predictor = self.predictor or build_default_predictor()
+        budgets = decompose_slo(
+            self.workflow, predictor, policy=self.workflow_policy
+        )
+        return [
+            FunctionSpec.for_model(
+                stage.model, slo_s=budgets[stage.name], name=stage.name
+            )
+            for stage in self.workflow.stages
+        ]
 
     def _build_fluid_engine(self):
         """Assemble the fluid or hybrid simulation.
@@ -350,6 +430,11 @@ class Experiment:
             raise ValueError(
                 f"engine={self.engine!r} models the INFless control laws;"
                 " use platform='infless' (baselines run engine='des')"
+            )
+        if self.workflow is not None:
+            raise ValueError(
+                f"engine={self.engine!r} does not support: workflow"
+                " (discrete-event only)"
             )
         if self.functions is None:
             raise ValueError(
@@ -372,6 +457,7 @@ class Experiment:
                 ("telemetry", self.tracer),
                 ("timeline", self.timeline),
                 ("chains", self.chains),
+                ("workflow", self.workflow),
             )
             if value
         ]
@@ -516,6 +602,10 @@ class Experiment:
             spec["coldstart"] = self.coldstart
         if self.autoscaler != "horizontal":
             spec["autoscaler"] = self.autoscaler
+        if self.workflow is not None:
+            spec["workflow"] = self.workflow.to_dict()
+            if self.workflow_policy != "decomposed":
+                spec["workflow_policy"] = self.workflow_policy
         return spec
 
     @classmethod
@@ -569,6 +659,8 @@ class Experiment:
             cold_queue_batches=spec.get("cold_queue_batches", 64),
             chains=spec.get("chains"),
             end_to_end_slo_s=spec.get("end_to_end_slo_s"),
+            workflow=spec.get("workflow"),
+            workflow_policy=spec.get("workflow_policy", "decomposed"),
             metrics_mode=spec.get("metrics_mode", "exact"),
             arrival_mode=spec.get("arrival_mode", "eager"),
             arrival_window_s=spec.get("arrival_window_s", 60.0),

@@ -214,6 +214,50 @@ def bench_invariant_tick(quick: bool = False) -> int:
     return ticks
 
 
+def bench_workflow_sched(quick: bool = False) -> int:
+    """Algorithm 1 under DAG workflow load (the repro.workflows path).
+
+    Schedules the OSVT and Q&A pipelines' stage functions against
+    fresh testbed clusters with a co-placement hint attached for the
+    OSVT DAG, exercising the inlined Eq. 10 scoring plus the
+    preferred-server pass; the config cache is pre-warmed (COP
+    profiling is offline work).  Returns instances placed.
+    """
+    from repro.cluster import build_testbed_cluster
+    from repro.core.scheduler import GreedyScheduler
+    from repro.profiling import build_default_predictor
+    from repro.workflows import CoPlacementHint
+    from repro.workloads import build_osvt, build_qa_robot
+
+    predictor = build_default_predictor()
+    osvt = build_osvt()
+    stage_functions = (
+        osvt.as_chain_stages() + build_qa_robot().as_chain_stages()
+    )
+    loads = (120.0, 90.0, 90.0, 300.0, 260.0, 260.0)
+    workflow = osvt.as_workflow()
+    rounds = 10 if quick else 40
+
+    def one_round(scheduler) -> int:
+        """Place every stage function once at its offered load."""
+        placed = 0
+        for function, rps in zip(stage_functions, loads):
+            outcome = scheduler.schedule(function, rps)
+            placed += len(outcome.instances)
+        return placed
+
+    warm = GreedyScheduler(build_testbed_cluster(), predictor)
+    one_round(warm)
+    cache = warm._config_cache
+    placed = 0
+    for _round in range(rounds):
+        scheduler = GreedyScheduler(build_testbed_cluster(), predictor)
+        scheduler._config_cache = cache
+        scheduler.coplacement = CoPlacementHint(workflow)
+        placed += one_round(scheduler)
+    return placed
+
+
 def bench_hybrid_scale(quick: bool = False) -> int:
     """Hybrid auto-scaling under a ramping load on a mixed fleet.
 
@@ -404,6 +448,7 @@ MICRO_BENCHMARKS: Dict[str, Callable[[bool], int]] = {
     "llm_decode": bench_llm_decode,
     "fluid_step": bench_fluid_step,
     "invariant_tick": bench_invariant_tick,
+    "workflow_sched": bench_workflow_sched,
     "hybrid_scale": bench_hybrid_scale,
 }
 

@@ -38,6 +38,7 @@ from repro.cluster.fleet import FleetSpec
 from repro.core.coldstart import COLDSTART_POLICIES
 from repro.core.function import FunctionSpec
 from repro.faults import FaultPlan
+from repro.workflows import WORKFLOW_POLICIES, WorkflowSpec
 from repro.workloads import (
     bursty_trace,
     constant_trace,
@@ -73,6 +74,8 @@ OPTIONAL_AXIS_DEFAULTS: Dict[str, object] = {
     "fleet": None,
     "coldstart": None,
     "autoscaler": "horizontal",
+    "workflow": None,
+    "workflow_policy": "decomposed",
 }
 
 #: trace kind -> generator; seeded kinds receive a SeedSequence child.
@@ -159,8 +162,12 @@ class CampaignSpec:
             plan file is inlined at expansion time so the run hash
             covers its *content*.  Opt-in axes
             (:data:`OPTIONAL_AXIS_DEFAULTS`: ``fleet``, ``coldstart``,
-            ``autoscaler``) join cells only when named here; ``fleet``
-            values are FleetSpec dicts or JSON paths (also inlined).
+            ``autoscaler``, ``workflow``, ``workflow_policy``) join
+            cells only when named here; ``fleet`` values are FleetSpec
+            dicts or JSON paths (also inlined), ``workflow`` values
+            are preset names, WorkflowSpec dicts or JSON paths
+            (inlined too, replacing the ``model``/``slo_ms`` axes for
+            that cell).
         replicates: replicate labels (the "seed list" of the grid);
             each cell runs once per label.
         root_seed: the campaign's seed-derivation root.
@@ -221,6 +228,12 @@ class CampaignSpec:
                 raise ValueError(
                     f"unknown autoscaler {name!r};"
                     " known: horizontal, hybrid"
+                )
+        for policy in self.axes.get("workflow_policy", []):
+            if policy not in WORKFLOW_POLICIES:
+                known = ", ".join(WORKFLOW_POLICIES)
+                raise ValueError(
+                    f"unknown workflow policy {policy!r}; known: {known}"
                 )
         object.__setattr__(self, "replicates", tuple(self.replicates))
         object.__setattr__(
@@ -372,6 +385,20 @@ class CampaignSpec:
             "warmup_s": self.warmup_s,
             "seed": sim_seed,
         }
+        workflow = cell.get("workflow")
+        if workflow is not None:
+            # Workflow cells serve the DAG instead of the model axis:
+            # stage functions are synthesized by the experiment from
+            # the decomposed SLO, and the trace feeds the entry stage.
+            # The spec is inlined (like fault plans and fleets) so the
+            # run hash covers the DAG's content.
+            wf = WorkflowSpec.coerce(workflow)
+            spec["functions"] = None
+            spec["workload"] = {wf.entry: trace.to_dict()}
+            spec["workflow"] = wf.to_dict()
+            policy = cell.get("workflow_policy", "decomposed")
+            if policy != "decomposed":
+                spec["workflow_policy"] = policy
         fleet = cell.get("fleet")
         if fleet is not None:
             # Inline path values (like fault plans) so the run hash

@@ -150,6 +150,24 @@ def _parse_seed_list(raw: str) -> List[int]:
     return seeds
 
 
+def _simulate_load(args: argparse.Namespace):
+    """Resolve what the simulate run serves: workflow or one function.
+
+    Returns ``(workflow, functions, workload, label)`` where exactly
+    one of ``workflow``/``functions`` is set and ``label`` names the
+    served thing for campaign cell keys.
+    """
+    if args.workflow is not None:
+        from repro.workflows import WorkflowSpec
+
+        workflow = WorkflowSpec.coerce(args.workflow)
+        workload = {workflow.entry: constant_trace(args.rps, args.duration)}
+        return workflow, None, workload, workflow.name
+    function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
+    workload = {function.name: constant_trace(args.rps, args.duration)}
+    return None, [function], workload, args.model
+
+
 def _cmd_simulate_seeds(args: argparse.Namespace, faults, resilience) -> int:
     """One configuration across a seed list: mean +/- std, not a point."""
     from repro.campaign import RunSpec, run_specs_serial, summarize
@@ -159,7 +177,11 @@ def _cmd_simulate_seeds(args: argparse.Namespace, faults, resilience) -> int:
               file=sys.stderr)
         return 1
     seeds = _parse_seed_list(args.seeds)
-    function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
+    try:
+        workflow, functions, workload, label = _simulate_load(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load workflow {args.workflow}: {exc}", file=sys.stderr)
+        return 1
     options = _platform_options(args)
     runs = []
     for seed in seeds:
@@ -169,8 +191,10 @@ def _cmd_simulate_seeds(args: argparse.Namespace, faults, resilience) -> int:
             fleet=args.fleet,
             coldstart=args.coldstart,
             autoscaler=args.autoscaler,
-            functions=[function],
-            workload={function.name: constant_trace(args.rps, args.duration)},
+            functions=functions,
+            workload=workload,
+            workflow=workflow,
+            workflow_policy=args.workflow_policy,
             platform_options=options,
             warmup_s=min(20.0, args.duration / 4),
             invariants=args.check_invariants,
@@ -183,7 +207,7 @@ def _cmd_simulate_seeds(args: argparse.Namespace, faults, resilience) -> int:
         )
         runs.append(RunSpec(
             campaign="simulate-seeds",
-            cell={"platform": args.platform, "model": args.model},
+            cell={"platform": args.platform, "model": label},
             replicate=seed,
             seed=seed,
             experiment=experiment.to_spec(),
@@ -262,7 +286,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         resilience = ResiliencePolicy(max_retries=args.max_retries)
     if args.seeds:
         return _cmd_simulate_seeds(args, faults, resilience)
-    function = FunctionSpec.for_model(args.model, slo_s=args.slo_ms / 1e3)
+    try:
+        workflow, functions, workload, _ = _simulate_load(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load workflow {args.workflow}: {exc}", file=sys.stderr)
+        return 1
     try:
         experiment = Experiment(
             platform=args.platform,
@@ -270,8 +298,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             fleet=args.fleet,
             coldstart=args.coldstart,
             autoscaler=args.autoscaler,
-            functions=[function],
-            workload={function.name: constant_trace(args.rps, args.duration)},
+            functions=functions,
+            workload=workload,
+            workflow=workflow,
+            workflow_policy=args.workflow_policy,
             platform_options=_platform_options(args),
             warmup_s=min(20.0, args.duration / 4),
             telemetry=bool(args.trace_out or args.chrome_trace_out),
@@ -361,6 +391,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ["preemptions", preempts],
             ["KV peak/capacity",
              f"{llm['kv_peak_tokens']:,} / {llm['kv_capacity_tokens']:,} tokens"],
+        ])
+    if report.workflows is not None:
+        wf = report.workflows
+        p50 = wf["latency_p50_s"]
+        p99 = wf["latency_p99_s"]
+        e2e = (
+            f"{p50 * 1e3:.1f} / {p99 * 1e3:.1f} ms"
+            if p50 is not None else "-"
+        )
+        stage_p99 = ", ".join(
+            f"{name}={stats['p99_s'] * 1e3:.1f}ms"
+            for name, stats in sorted(wf["per_stage"].items())
+            if stats["p99_s"] is not None
+        ) or "-"
+        coplace = wf.get("coplacement")
+        coplace_row = "-"
+        if coplace is not None and coplace["decisions"]:
+            coplace_row = (
+                f"{coplace['hits']}/{coplace['decisions']}"
+                f" ({coplace['hit_rate']:.0%})"
+            )
+        rows.extend([
+            ["workflow",
+             f"{wf['workflow']} (SLO {wf['end_to_end_slo_s'] * 1e3:.0f} ms)"],
+            ["workflow goodput", f"{wf['goodput_rps']:.1f} rps"],
+            ["e2e violations", wf["violations"]],
+            ["e2e p50/p99", e2e],
+            ["stage p99", stage_p99],
+            ["co-placement hits", coplace_row],
         ])
     if report.resilience is not None:
         summary = report.resilience
@@ -770,6 +829,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="horizontal",
         help="hybrid grows live instances' GPU quota in place before"
              " spawning new ones (HAS-GPU-style vertical scaling)",
+    )
+    simulate.add_argument(
+        "--workflow", metavar="SPEC", default=None,
+        help="serve a DAG workflow instead of one function: a preset"
+             " name (osvt, qa) or a WorkflowSpec JSON path; --rps"
+             " drives the entry stage and --model/--slo-ms are ignored"
+             " (see docs/workflows.md)",
+    )
+    simulate.add_argument(
+        "--workflow-policy", choices=("decomposed", "independent"),
+        default="decomposed",
+        help="decomposed splits the end-to-end SLO across stages by"
+             " predicted execution time and co-places adjacent stages;"
+             " independent gives every stage the full budget (naive"
+             " baseline)",
     )
     simulate.add_argument("--seed", type=int, default=1)
     simulate.add_argument(

@@ -31,8 +31,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cluster.cluster import Cluster
 from repro.cluster.fleet import GpuProfile, profile_map
 from repro.cluster.resources import ResourceVector
+from repro.core import efficiency as _efficiency
 from repro.core.batching import InfeasibleBatchError, RateBounds, rate_bounds
-from repro.core.efficiency import resource_efficiency, rps_per_resource
+from repro.core.efficiency import rps_per_resource
 from repro.core.function import FunctionSpec
 from repro.core.instance import Instance, InstanceState
 from repro.profiling.configspace import ConfigSpace, InstanceConfig, batch_choices
@@ -131,6 +132,13 @@ class GreedyScheduler:
         self._profile_order: List[Optional[GpuProfile]] = [None] + [
             profiles[name] for name in sorted(profiles)
         ]
+        #: optional :class:`~repro.workflows.coplace.CoPlacementHint`:
+        #: when attached (workflow runs), placement prefers servers
+        #: already hosting adjacent DAG stages, accepting them only
+        #: within the hint's Eq. 10 score tolerance and never relaxing
+        #: feasibility.  None (the default) keeps every existing code
+        #: path bit-identical.
+        self.coplacement = None
 
     def gpu_profile_for(self, server_id: int) -> Optional[GpuProfile]:
         """The server's non-default GPU generation (None = baseline)."""
@@ -252,6 +260,43 @@ class GreedyScheduler:
         gpu_ok = 0 < gpu <= 100
         for index in range(start, len(sorted_free)):
             server_id = sorted_free[index][1]
+            server = server_of(server_id)
+            if (
+                server.healthy
+                and cpu <= server.cpu_free
+                and memory <= server.memory_free_mb - server.swap_reserved_mb
+                and (
+                    gpu == 0
+                    or (gpu_ok and gpu <= server._gpu_free_max)
+                )
+            ):
+                return server_id
+        return None
+
+    def _best_server_within(
+        self,
+        resources: ResourceVector,
+        sorted_free: List[Tuple[float, int]],
+        beta: float,
+        allowed: object,
+    ) -> Optional[int]:
+        """Best-fit scan restricted to an ``allowed`` server-id set.
+
+        The co-placement variant of :meth:`_best_server_for`, kept
+        separate so the default scan stays branch-free.  Same
+        feasibility checks; only servers in ``allowed`` qualify.
+        """
+        cost = resources.weighted(beta)
+        start = bisect.bisect_left(sorted_free, (cost - 1e-9, -1))
+        server_of = self.cluster.server
+        cpu = resources.cpu
+        memory = resources.memory_mb
+        gpu = resources.gpu
+        gpu_ok = 0 < gpu <= 100
+        for index in range(start, len(sorted_free)):
+            server_id = sorted_free[index][1]
+            if server_id not in allowed:
+                continue
             server = server_of(server_id)
             if (
                 server.healthy
@@ -405,6 +450,8 @@ class GreedyScheduler:
             resources = self._instance_resources(function, config)
             placement = self.cluster.allocate(server_id, resources)
             self._update_sorted_free(sorted_free, server_id)
+            if self.coplacement is not None:
+                self.coplacement.record(function.name, server_id)
             return Instance(
                 function=function,
                 config=config,
@@ -446,26 +493,63 @@ class GreedyScheduler:
             for config, _t, bounds in candidates
         ]
         normaliser = max(densities)
+        # Eq. 10 inlined: the density term was already computed for the
+        # normaliser above, so the per-pair score only needs the
+        # fragmentation denominator.  Identical float-op order to
+        # resource_efficiency() -- scores (and therefore placements)
+        # are bit-identical; the module attribute is still read per
+        # call so ablations may vary FRAGMENTATION_FLOOR.
+        floor = _efficiency.FRAGMENTATION_FLOOR
+        server_of = self.cluster.server
+        hint = self.coplacement
+        preferred = (
+            hint.preferred_servers(function.name)
+            if hint is not None and hint.tracks(function.name)
+            else ()
+        )
         best_score = -1.0
         best = None
+        pref_score = -1.0
+        pref_best = None
         for (config, t_exec, bounds), density in zip(candidates, densities):
             resources = self._instance_resources(function, config)
             server_id = self._best_server_for(resources, sorted_free, beta)
             if server_id is None:
                 continue
-            server = self.cluster.server(server_id)
-            score = resource_efficiency(
-                min(bounds.r_up, remaining),
-                config.cpu,
-                config.gpu,
-                server.cpu_free,
-                server.gpu_free,
-                beta=beta,
-                normaliser=normaliser,
-            )
+            server = server_of(server_id)
+            instance_cost = beta * config.cpu + config.gpu
+            server_cost = beta * server.cpu_free + server.gpu_free
+            scaled = min(1.0, density / normaliser)
+            score = scaled / max(1.0 - instance_cost / server_cost, floor)
             if score > best_score:
                 best_score = score
                 best = (config, t_exec, bounds, server_id)
+            if preferred and server_id not in preferred:
+                pref_id = self._best_server_within(
+                    resources, sorted_free, beta, preferred
+                )
+                if pref_id is not None:
+                    pserver = server_of(pref_id)
+                    p_cost = beta * pserver.cpu_free + pserver.gpu_free
+                    p_score = scaled / max(
+                        1.0 - instance_cost / p_cost, floor
+                    )
+                    if p_score > pref_score:
+                        pref_score = p_score
+                        pref_best = (config, t_exec, bounds, pref_id)
+        if preferred and best is not None:
+            # Prefer a server hosting an adjacent stage when its score
+            # stays within the tolerance of the unconstrained argmax.
+            if best[3] in preferred:
+                hint.observe(True)
+            elif (
+                pref_best is not None
+                and pref_score >= hint.tolerance * best_score
+            ):
+                hint.observe(True)
+                best = pref_best
+            else:
+                hint.observe(False)
         return best
 
     def _select_placement_hetero(
@@ -504,6 +588,9 @@ class GreedyScheduler:
             for row, _profile, _any_server in pools
         ]
         normaliser = max(densities)
+        # Eq. 10 inlined exactly as in _select_placement.
+        floor = _efficiency.FRAGMENTATION_FLOOR
+        server_of = self.cluster.server
         best_score = -1.0
         best = None
         for (row, profile, any_server), density in zip(pools, densities):
@@ -519,16 +606,11 @@ class GreedyScheduler:
                 )
             if server_id is None:
                 continue
-            server = self.cluster.server(server_id)
-            score = resource_efficiency(
-                min(bounds.r_up, remaining),
-                config.cpu,
-                config.gpu,
-                server.cpu_free,
-                server.gpu_free,
-                beta=beta,
-                normaliser=normaliser,
-            )
+            server = server_of(server_id)
+            instance_cost = beta * config.cpu + config.gpu
+            server_cost = beta * server.cpu_free + server.gpu_free
+            scaled = min(1.0, density / normaliser)
+            score = scaled / max(1.0 - instance_cost / server_cost, floor)
             if score > best_score:
                 best_score = score
                 best = (config, t_exec, bounds, server_id)
@@ -580,6 +662,10 @@ class GreedyScheduler:
     def release(self, instance: Instance) -> None:
         """Return an instance's resources to the cluster."""
         if instance.placement is not None:
+            if self.coplacement is not None:
+                self.coplacement.forget(
+                    instance.function.name, instance.placement.server_id
+                )
             self.cluster.release(instance.placement)
             instance.placement = None
         instance.state = InstanceState.TERMINATED

@@ -160,6 +160,7 @@ class InvariantChecker:
             for inst in self._all_instances(sim.platform)
             if inst.queue is not None
         )
+        barriers = getattr(sim, "_join_barriers", None) or {}
         return {
             "arrived": sim.metrics.arrived,
             # completed_count, not len(records): sketch-mode collectors
@@ -170,12 +171,22 @@ class InvariantChecker:
             "queued": queued,
             "executing": sim._executing,
             "retrying": getattr(sim, "_retry_pending", 0),
+            # DAG-workflow terms (all zero outside workflow mode):
+            # fan-out spawns extra tokens, joins/failed-root absorption
+            # retire them, and tokens may wait at fan-in barriers.
+            "spawned": getattr(sim, "_wf_spawned", 0),
+            "retired": getattr(sim, "_wf_retired", 0),
+            "joining": sum(len(w) for w in barriers.values()),
         }
 
     def check_request_conservation(self, sim: object, now: float) -> None:
         # Chained stage hand-offs retire one in-flight token and inject
         # another at the same instant, so the ledger balances without a
-        # separate "forwarded" term.
+        # separate "forwarded" term.  DAG fan-out mints extra tokens
+        # ("spawned") and joins/failure absorption destroy them
+        # ("retired"), so the full ledger is
+        # ``arrived + spawned == completed + dropped + retired +
+        # parked + queued + executing + joining + retrying``.
         counts = self._request_counts(sim)
         accounted = (
             counts["completed"]
@@ -184,12 +195,15 @@ class InvariantChecker:
             + counts["queued"]
             + counts["executing"]
             + counts["retrying"]
+            + counts["retired"]
+            + counts["joining"]
         )
-        if accounted != counts["arrived"]:
+        entered = counts["arrived"] + counts["spawned"]
+        if accounted != entered:
             self._flag(
                 "request_conservation",
                 now,
-                f"arrived={counts['arrived']} but accounted={accounted}",
+                f"arrived+spawned={entered} but accounted={accounted}",
                 **counts,
             )
 
@@ -371,9 +385,14 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     def check_latency_tiling(self, sim: object, now: float) -> None:
         # Retried requests spend time in the crashed attempt and the
-        # backoff window that no wait bucket sees: like chain stages,
-        # the parts then only lower-bound the end-to-end latency.
-        chained = bool(sim.chains) or getattr(sim, "_retries", 0) > 0
+        # backoff window that no wait bucket sees: like chain and
+        # workflow stages, the parts then only lower-bound the
+        # end-to-end latency.
+        chained = (
+            bool(sim.chains)
+            or getattr(sim, "workflow", None) is not None
+            or getattr(sim, "_retries", 0) > 0
+        )
         for record in sim.metrics.records:
             latency = record.completion - record.arrival
             parts = record.cold_wait_s + record.queue_wait_s + record.exec_s
@@ -735,6 +754,72 @@ class InvariantChecker:
             )
 
     # ------------------------------------------------------------------
+    # DAG workflows
+    # ------------------------------------------------------------------
+    def check_workflow_tick(self, sim: object, now: float) -> None:
+        """Stage-request conservation across DAG edges, barrier sanity.
+
+        For every stage the tokens forwarded onto its inbound edges
+        must be accounted for: directly injected for fan-in-1 stages,
+        or consumed by fired joins / still waiting at a live barrier /
+        purged with a failed root for fan-in stages.  Join barriers may
+        only hold 1..fan_in-1 tokens of a live (non-failed) root -- a
+        full or failed-root barrier is an orphan the forwarding logic
+        should have resolved.
+        """
+        workflow = getattr(sim, "workflow", None)
+        if workflow is None:
+            return
+        fan_in = workflow.fan_in()
+        barriers = sim._join_barriers
+        waiting: Dict[str, int] = {}
+        for (stage, root), waiters in barriers.items():
+            waiting[stage] = waiting.get(stage, 0) + len(waiters)
+            if not 1 <= len(waiters) <= fan_in[stage] - 1:
+                self._flag(
+                    "workflow_barriers",
+                    now,
+                    f"join barrier at {stage!r} holds {len(waiters)}"
+                    f" token(s), expected 1..{fan_in[stage] - 1}",
+                    stage=stage,
+                    root=root,
+                )
+            if root in sim._wf_failed:
+                self._flag(
+                    "workflow_barriers",
+                    now,
+                    f"orphaned join barrier at {stage!r}: root {root}"
+                    " already failed",
+                    stage=stage,
+                    root=root,
+                )
+        predecessors = workflow.predecessors()
+        for stage, preds in predecessors.items():
+            if not preds:
+                continue  # entry stage: fed by the trace, not by edges
+            inflow = sum(
+                sim._edge_forwards[(src, stage)] for src in preds
+            )
+            if fan_in[stage] == 1:
+                outflow = sim._stage_injected[stage]
+            else:
+                outflow = (
+                    fan_in[stage] * sim._join_fired[stage]
+                    + waiting.get(stage, 0)
+                    + sim._join_purged[stage]
+                )
+            if inflow != outflow:
+                self._flag(
+                    "workflow_edge_conservation",
+                    now,
+                    f"stage {stage!r}: {inflow} token(s) forwarded onto"
+                    f" inbound edges but {outflow} accounted for",
+                    stage=stage,
+                    inflow=inflow,
+                    outflow=outflow,
+                )
+
+    # ------------------------------------------------------------------
     # entry points called by the runtime
     # ------------------------------------------------------------------
     def check_tick(self, sim: object, now: float) -> None:
@@ -744,6 +829,7 @@ class InvariantChecker:
         self.check_request_conservation(sim, now)
         self.check_resource_conservation(sim, now)
         self.check_scheduler_soundness(sim, now)
+        self.check_workflow_tick(sim, now)
 
     def check_final(self, sim: object, now: float) -> None:
         """The end-of-run audit, after the event loop drains."""
@@ -755,6 +841,7 @@ class InvariantChecker:
         self.check_scheduler_soundness(sim, now)
         self.check_latency_tiling(sim, now)
         self.check_telemetry_agreement(sim, now)
+        self.check_workflow_tick(sim, now)
         if sim._executing != 0:
             self._flag(
                 "request_conservation",

@@ -127,6 +127,11 @@ class SimulationReport:
     #: single-shot runs so those reports stay bit-identical to the
     #: pre-LLM goldens.
     llm: Optional[Dict[str, object]] = None
+    #: DAG-workflow summary (workflow goodput, end-to-end percentiles,
+    #: per-stage latency decomposition, co-placement hit rate); None on
+    #: non-workflow runs -- including the legacy chains shim -- so those
+    #: reports stay bit-identical to the pre-workflow goldens.
+    workflows: Optional[Dict[str, object]] = None
     #: how latency statistics were collected; "exact" reports serialise
     #: without this field so pre-sketch goldens stay bit-identical.
     metrics_mode: str = "exact"
@@ -182,6 +187,8 @@ class SimulationReport:
             payload.pop("resilience", None)
         if self.llm is None:
             payload.pop("llm", None)
+        if self.workflows is None:
+            payload.pop("workflows", None)
         if self.metrics_mode == "exact":
             payload.pop("metrics_mode", None)
         if self.latency_sketch is None:

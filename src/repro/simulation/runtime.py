@@ -68,6 +68,7 @@ from repro.telemetry import (
 )
 from repro.workloads.arrivals import sample_arrivals, sample_arrivals_window
 from repro.workloads.trace import Trace
+from repro.workflows.spec import WorkflowSpec, find_cycle
 
 _request_ids = itertools.count()
 
@@ -86,7 +87,7 @@ class Request:
 
     __slots__ = (
         "function", "arrival", "slo_s", "origin_arrival", "request_id",
-        "attempt",
+        "attempt", "root_id",
     )
 
     def __init__(
@@ -96,6 +97,7 @@ class Request:
         slo_s: float,
         origin_arrival: Optional[float] = None,
         request_id: Optional[int] = None,
+        root_id: Optional[int] = None,
     ) -> None:
         self.function = function
         self.arrival = arrival
@@ -107,6 +109,15 @@ class Request:
         #: how many times the request has been re-dispatched after
         #: being stranded in a lost batch (resilience retries).
         self.attempt = 0
+        #: the workflow root request this token descends from (None for
+        #: non-workflow requests and workflow entry arrivals, whose own
+        #: ``request_id`` is the root).
+        self.root_id = root_id
+
+    @property
+    def root(self) -> int:
+        """Workflow identity: the root request id this token serves."""
+        return self.request_id if self.root_id is None else self.root_id
 
     @property
     def origin(self) -> float:
@@ -166,7 +177,13 @@ class ServingSimulation:
             completed stage-a request into stage-b's batch queues; the
             SLO applies end to end and only the final stage records a
             completion. Workload traces drive the chain's entry
-            functions only.
+            functions only.  Deprecated in favour of ``workflow``.
+        workflow: optional :class:`~repro.workflows.spec.WorkflowSpec`
+            DAG: stage completions fan out along the DAG's edges, join
+            barriers gate fan-in stages until every upstream copy
+            arrives, and the per-workflow deadline is judged when the
+            sink completes.  Mutually exclusive with ``chains``; adds
+            a ``workflows`` block to the report.
         tracer: telemetry hooks; the default null tracer records
             nothing and costs one no-op call per hook site.  The tracer
             is also attached to the platform's control-plane components
@@ -204,6 +221,7 @@ class ServingSimulation:
         cold_queue_batches: int = 64,
         warmup_s: float = 0.0,
         chains: Optional[Dict[str, str]] = None,
+        workflow: Optional[WorkflowSpec] = None,
         end_to_end_slo_s: Optional[float] = None,
         tracer: Optional[Tracer] = None,
         timeline: Optional[TimelineRecorder] = None,
@@ -236,15 +254,83 @@ class ServingSimulation:
         for src, dst in self.chains.items():
             if src == dst:
                 raise ValueError(f"chain stage {src!r} forwards to itself")
+        if workflow is not None and self.chains:
+            raise ValueError("pass either workflow= or chains=, not both")
+        #: the DAG workflow under test (None for plain and legacy
+        #: chained runs); drives fan-out/fan-in forwarding, the
+        #: end-to-end deadline at the sink and the report's
+        #: ``workflows`` block.
+        self.workflow = workflow
+        self._wf_tracking = workflow is not None
         #: chained requests are judged against the end-to-end budget,
         #: while each stage's (smaller) function SLO drives its batch
         #: deadline; defaults to the entry function's SLO when unset.
         self.end_to_end_slo_s = end_to_end_slo_s
-        # Functions the control loop must manage: trace-driven entry
-        # stages plus every chained downstream stage.
-        self._managed = list(
-            dict.fromkeys(list(workload) + list(self.chains.values()))
-        )
+        if workflow is not None:
+            if self.end_to_end_slo_s is None:
+                self.end_to_end_slo_s = workflow.end_to_end_slo_s
+            stage_names = set(workflow.stage_names())
+            entry = workflow.entry
+            for name in workload:
+                if name in stage_names and name != entry:
+                    raise ValueError(
+                        f"only the workflow entry stage {entry!r} may carry"
+                        f" a workload trace, not {name!r}"
+                    )
+            if entry not in workload:
+                raise ValueError(
+                    f"workflow entry stage {entry!r} needs a workload trace"
+                )
+            #: stage -> downstream stages (only stages with successors).
+            self._successors: Dict[str, tuple] = {
+                s.name: s.downstream for s in workflow.stages if s.downstream
+            }
+            self._fan_in: Dict[str, int] = workflow.fan_in()
+            # Functions the control loop must manage: trace-driven
+            # functions plus the DAG's interior stages in topological
+            # order (upstream rates settle before downstream ones read
+            # their forwarded arrivals).
+            self._managed = list(dict.fromkeys(
+                list(workload)
+                + [n for n in workflow.topological_order() if n not in workload]
+            ))
+        else:
+            self._successors = {
+                src: (dst,) for src, dst in self.chains.items()
+            }
+            cycle = find_cycle(self._successors)
+            if cycle is not None:
+                raise ValueError(
+                    f"chains contain a cycle: {' -> '.join(cycle)}"
+                )
+            self._fan_in = {}
+            # Functions the control loop must manage: trace-driven entry
+            # stages plus every chained downstream stage.
+            self._managed = list(
+                dict.fromkeys(list(workload) + list(self.chains.values()))
+            )
+        # -- workflow bookkeeping (all zero outside workflow mode) ------
+        #: (stage, root) -> tokens waiting at a fan-in join barrier.
+        self._join_barriers: Dict[tuple, List[Request]] = {}
+        #: extra tokens created by fan-out / tokens merged away or
+        #: silently absorbed -- the conservation ledger's new terms.
+        self._wf_spawned = 0
+        self._wf_retired = 0
+        #: roots that already recorded their one drop.
+        self._wf_failed: set = set()
+        self._wf_started = 0
+        self._wf_completed = 0
+        self._wf_violations = 0
+        self._wf_dropped = 0
+        self._wf_latencies: List[float] = []
+        self._stage_latencies: Dict[str, List[float]] = {
+            name: [] for name in (workflow.stage_names() if workflow else ())
+        }
+        #: per-edge / per-stage flow counters for check_workflow_tick.
+        self._edge_forwards: Counter = Counter()
+        self._stage_injected: Counter = Counter()
+        self._join_fired: Counter = Counter()
+        self._join_purged: Counter = Counter()
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         #: cached ``tracer.enabled``: guards per-request hook calls so a
         #: disabled tracer costs one attribute read, not a no-op call.
@@ -360,7 +446,7 @@ class ServingSimulation:
 
     def _arrival_slo(self, name: str) -> float:
         slo = self.platform.function(name).slo_s
-        if self.chains and self.end_to_end_slo_s is not None:
+        if self._successors and self.end_to_end_slo_s is not None:
             slo = self.end_to_end_slo_s
         return slo
 
@@ -405,6 +491,8 @@ class ServingSimulation:
             )
         self._arrivals_since_tick[request.function] += 1
         self.platform.record_invocation(request.function, self.loop.now)
+        if self._wf_tracking and request.arrival >= self.warmup_s:
+            self._wf_started += 1
         if self._shed and self.platform.should_shed(
             request.function, self.loop.now, len(self._pending[request.function])
         ):
@@ -413,7 +501,24 @@ class ServingSimulation:
         self._dispatch(request)
 
     def _drop(self, request: Request, reason: str) -> None:
-        self.metrics.record_drop(self.loop.now, reason)
+        if self._wf_tracking:
+            root = request.root
+            if root in self._wf_failed:
+                # A sibling token of this root already recorded the
+                # workflow's one drop; absorb this copy silently so the
+                # conservation ledger counts each root at most once.
+                self._wf_retired += 1
+                return
+            self._wf_failed.add(root)
+            self._purge_barriers(root)
+            if request.origin >= self.warmup_s:
+                self._wf_dropped += 1
+        # Workflow drops are attributed to their origin cohort (as
+        # completions are): a root admitted during warmup whose token
+        # dies seconds later must not count against the kept window,
+        # or completed+dropped could exceed arrived in the report.
+        drop_time = request.origin if self._wf_tracking else self.loop.now
+        self.metrics.record_drop(drop_time, reason)
         if self._trace:
             self.tracer.request_dropped(
                 request.request_id, request.function, self.loop.now, reason
@@ -574,10 +679,32 @@ class ServingSimulation:
             instance.busy = False
             return
         for request in batch.requests:
-            next_stage = self.chains.get(request.function)
-            if next_stage is not None:
-                self._forward(request, next_stage)
+            successors = self._successors.get(request.function)
+            if successors:
+                self._complete_stage(request, successors, now)
                 continue
+            if self._wf_tracking and request.function in self._stage_latencies:
+                # Sink stage: judge the per-workflow deadline here.
+                if request.root in self._wf_failed:
+                    self._wf_retired += 1
+                    continue
+                if request.origin >= self.warmup_s:
+                    self._stage_latencies[request.function].append(
+                        now - request.arrival
+                    )
+                    latency = now - request.origin
+                    self._wf_latencies.append(latency)
+                    self._wf_completed += 1
+                    if latency > self.end_to_end_slo_s:
+                        self._wf_violations += 1
+                if self._trace:
+                    self.tracer.workflow_completed(
+                        request.root,
+                        self.workflow.name,
+                        request.origin,
+                        now,
+                        self.end_to_end_slo_s,
+                    )
             if request.attempt:
                 self._retry_completions += 1
             total_wait = batch.start - request.arrival
@@ -770,18 +897,112 @@ class ServingSimulation:
         request.arrival = self.loop.now
         self._dispatch(request)
 
-    def _forward(self, request: Request, next_stage: str) -> None:
-        """Hand a completed stage's request to the next chain stage."""
+    def _forward(
+        self,
+        request: Request,
+        next_stage: str,
+        root_id: Optional[int] = None,
+    ) -> None:
+        """Hand a completed stage's request to the next stage."""
         now = self.loop.now
         follow_on = Request(
             function=next_stage,
             arrival=now,
             slo_s=request.slo_s,
             origin_arrival=request.origin,
+            root_id=root_id,
         )
+        if self._wf_tracking:
+            self._stage_injected[next_stage] += 1
+            if self._trace:
+                self.tracer.workflow_stage(
+                    follow_on.root, follow_on.request_id, next_stage, now
+                )
         self._arrivals_since_tick[next_stage] += 1
         self.platform.record_invocation(next_stage, now)
         self._dispatch(follow_on)
+
+    # ------------------------------------------------------------------
+    # workflow forwarding: fan-out, join barriers, failure absorption
+    # ------------------------------------------------------------------
+    def _complete_stage(
+        self, request: Request, successors: tuple, now: float
+    ) -> None:
+        """Route one completed stage token along its outgoing edges.
+
+        Legacy chains (no workflow attached) have exactly one successor
+        and forward unconditionally -- the original behaviour.  In
+        workflow mode the token fans out to every downstream stage,
+        waits at fan-in join barriers until all sibling copies arrive,
+        and is silently absorbed when its root already failed.
+        """
+        if not self._wf_tracking:
+            self._forward(request, successors[0])
+            return
+        root = request.root
+        stage = request.function
+        if request.origin >= self.warmup_s:
+            self._stage_latencies[stage].append(now - request.arrival)
+        if root in self._wf_failed:
+            self._wf_retired += 1
+            return
+        if len(successors) > 1:
+            self._wf_spawned += len(successors) - 1
+        for index, nxt in enumerate(successors):
+            if root in self._wf_failed:
+                # A sibling token died inside this very fan-out (its
+                # edge's dispatch dropped synchronously): the remaining
+                # edges' tokens are retired unminted, or a later join
+                # barrier would wait forever for a failed root.
+                self._wf_retired += len(successors) - index
+                break
+            self._edge_forwards[(stage, nxt)] += 1
+            if self._fan_in[nxt] > 1:
+                self._join_token(request, nxt, root, now)
+            else:
+                self._forward(request, nxt, root)
+
+    def _join_token(
+        self, request: Request, stage: str, root: int, now: float
+    ) -> None:
+        """Park a token at ``stage``'s join barrier; fire when full."""
+        key = (stage, root)
+        waiters = self._join_barriers.setdefault(key, [])
+        waiters.append(request)
+        if len(waiters) < self._fan_in[stage]:
+            return
+        del self._join_barriers[key]
+        self._join_fired[stage] += 1
+        self._wf_retired += len(waiters) - 1
+        merged = Request(
+            function=stage,
+            arrival=now,
+            slo_s=request.slo_s,
+            origin_arrival=waiters[0].origin,
+            root_id=root,
+        )
+        self._stage_injected[stage] += 1
+        if self._trace:
+            self.tracer.workflow_stage(
+                root, merged.request_id, stage, now
+            )
+        self._arrivals_since_tick[stage] += 1
+        self.platform.record_invocation(stage, now)
+        self._dispatch(merged)
+
+    def _purge_barriers(self, root: int) -> None:
+        """Retire every token of a failed root waiting at a barrier."""
+        if not self._join_barriers:
+            return
+        stale = [key for key in self._join_barriers if key[1] == root]
+        for key in stale:
+            waiters = self._join_barriers.pop(key)
+            self._join_purged[key[0]] += len(waiters)
+            self._wf_retired += len(waiters)
+
+    def _joining(self) -> int:
+        """Tokens currently waiting at join barriers (ledger term)."""
+        return sum(len(w) for w in self._join_barriers.values())
 
     # ------------------------------------------------------------------
     # control loop
@@ -790,9 +1011,19 @@ class ServingSimulation:
         if self.rate_mode == "oracle" and name in self.workload:
             return self.workload[name].rps_at(self.loop.now)
         if self.rate_mode == "oracle" and name not in self.workload:
-            # Downstream chain stages see the entry stages' rate; fall
-            # through to the measured estimator for them.
-            pass
+            # Downstream stages have no trace to read.  Their true
+            # arrival rate is the upstream completion throughput on
+            # their inbound edges (fan-out already multiplies the
+            # forwarded count), so report the raw forwarded rate for
+            # the tick instead of EWMA-smoothing from a cold start --
+            # the oracle promises no estimation lag for entry stages,
+            # and interior stages deserve the same fidelity.
+            measured = (
+                self._arrivals_since_tick[name] / self.control_interval_s
+            )
+            self._arrivals_since_tick[name] = 0
+            self._rate_estimate[name] = measured
+            return measured
         measured = self._arrivals_since_tick[name] / self.control_interval_s
         self._arrivals_since_tick[name] = 0
         estimate = (
@@ -934,12 +1165,70 @@ class ServingSimulation:
         )
         if self.faults is not None or self.resilience is not None:
             report.resilience = self._resilience_summary(report)
+        if self._wf_tracking:
+            report.workflows = self._workflow_summary()
         if self.invariants.enabled:
             self.invariants.check_report(self, report)
             report.invariant_violations = [
                 v.to_dict() for v in self.invariants.violations
             ]
         return report
+
+    def _workflow_summary(self) -> Dict[str, object]:
+        """The workflow metrics block attached to the report.
+
+        Goodput counts workflows that completed at the sink within the
+        end-to-end budget, over the post-warmup window; the per-stage
+        decomposition shows where the pipeline's latency lives; the
+        co-placement stats come from the scheduler's hint when one is
+        attached.
+        """
+        workflow = self.workflow
+        elapsed = max(self._horizon - self.warmup_s, 1e-9)
+        goodput = max(self._wf_completed - self._wf_violations, 0) / elapsed
+        latencies = (
+            np.asarray(self._wf_latencies) if self._wf_latencies else None
+        )
+        per_stage: Dict[str, object] = {}
+        for name in workflow.stage_names():
+            values = self._stage_latencies.get(name) or ()
+            if values:
+                arr = np.asarray(values)
+                per_stage[name] = {
+                    "count": len(values),
+                    "mean_s": float(arr.mean()),
+                    "p50_s": float(np.percentile(arr, 50)),
+                    "p99_s": float(np.percentile(arr, 99)),
+                }
+            else:
+                per_stage[name] = {
+                    "count": 0, "mean_s": None, "p50_s": None, "p99_s": None,
+                }
+        hint = getattr(
+            getattr(self.platform, "scheduler", None), "coplacement", None
+        )
+        return {
+            "workflow": workflow.name,
+            "end_to_end_slo_s": self.end_to_end_slo_s,
+            "started": self._wf_started,
+            "completed": self._wf_completed,
+            "violations": self._wf_violations,
+            "failed": self._wf_dropped,
+            "goodput_rps": goodput,
+            "latency_mean_s": (
+                float(latencies.mean()) if latencies is not None else None
+            ),
+            "latency_p50_s": (
+                float(np.percentile(latencies, 50))
+                if latencies is not None else None
+            ),
+            "latency_p99_s": (
+                float(np.percentile(latencies, 99))
+                if latencies is not None else None
+            ),
+            "per_stage": per_stage,
+            "coplacement": hint.stats() if hint is not None else None,
+        }
 
     def _resilience_summary(self, report: SimulationReport) -> Dict[str, object]:
         """The chaos-run metrics block attached to the report."""

@@ -16,6 +16,8 @@ from repro.telemetry.spans import (
     DROP_SERVER_FAILURE,
     DROP_SHED,
     DROP_SLO_UNREACHABLE,
+    WORKFLOW_COMPLETE,
+    WORKFLOW_STAGE,
     Span,
     TraceEvent,
     batch_spans,
@@ -52,6 +54,8 @@ __all__ = [
     "DROP_SERVER_FAILURE",
     "DROP_SHED",
     "DROP_SLO_UNREACHABLE",
+    "WORKFLOW_COMPLETE",
+    "WORKFLOW_STAGE",
     "Span",
     "TraceEvent",
     "batch_spans",

@@ -80,6 +80,8 @@ LLM_STEP = "llm_step"
 PREEMPTION = "preemption"
 SWAP_IN = "swap_in"
 FIRST_TOKEN = "first_token"
+WORKFLOW_STAGE = "workflow_stage"
+WORKFLOW_COMPLETE = "workflow_complete"
 
 #: the per-request phase names, in lifecycle order.
 REQUEST_PHASES = ("cold_wait", "batch_wait", "exec")

@@ -189,6 +189,27 @@ class Tracer:
     ) -> None:
         """A swapped-out sequence's KV cache returned to the GPU."""
 
+    # -- DAG workflows (repro.workflows) ---------------------------------
+    def workflow_stage(
+        self, workflow_id: int, request: int, stage: str, ts: float
+    ) -> None:
+        """A workflow token entered its next stage (span link).
+
+        ``workflow_id`` is the root request's id: every stage request
+        of one workflow execution carries it, linking the per-stage
+        request spans into one end-to-end workflow trace.
+        """
+
+    def workflow_completed(
+        self,
+        workflow_id: int,
+        workflow: str,
+        origin: float,
+        ts: float,
+        slo_s: float,
+    ) -> None:
+        """A workflow's sink stage completed: the end-to-end span."""
+
 
 #: alias making call sites explicit about the zero-overhead default.
 NullTracer = Tracer
@@ -467,6 +488,36 @@ class InMemoryTracer(Tracer):
             mode=mode,
             policy=policy,
             kv_tokens=kv_tokens,
+        )
+
+    # -- DAG workflows ---------------------------------------------------
+    def workflow_stage(
+        self, workflow_id: int, request: int, stage: str, ts: float
+    ) -> None:
+        self._emit(
+            ts,
+            ev.WORKFLOW_STAGE,
+            workflow_id=self._request(workflow_id),
+            request=self._request(request),
+            function=stage,
+        )
+
+    def workflow_completed(
+        self,
+        workflow_id: int,
+        workflow: str,
+        origin: float,
+        ts: float,
+        slo_s: float,
+    ) -> None:
+        self._emit(
+            ts,
+            ev.WORKFLOW_COMPLETE,
+            workflow_id=self._request(workflow_id),
+            workflow=workflow,
+            origin=origin,
+            latency_s=ts - origin,
+            slo_s=slo_s,
         )
 
     def swap_in(

@@ -12,9 +12,12 @@ Both cap batchsizes at 32.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 from repro.core.function import FunctionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workflows.spec import WorkflowSpec
 
 
 @dataclass(frozen=True)
@@ -93,6 +96,21 @@ class Application:
             FunctionSpec(name=fn.name, model=fn.model, slo_s=per_stage)
             for fn in self.functions
         ]
+
+    def as_workflow(self) -> "WorkflowSpec":
+        """The application as a linear :class:`WorkflowSpec`.
+
+        The DAG view of :meth:`chain_map`: same stage order, but with
+        the end-to-end SLO carried on the workflow itself so the
+        platform (not a uniform split) decides per-stage budgets.
+        """
+        from repro.workflows.spec import WorkflowSpec
+
+        return WorkflowSpec.linear(
+            name=self.name,
+            stages=[(fn.name, fn.model.name) for fn in self.functions],
+            end_to_end_slo_s=self.slo_s,
+        )
 
 
 def build_osvt(slo_s: float = 0.200, prefix: str = "osvt") -> Application:
